@@ -1,0 +1,64 @@
+// Command chanos-bench regenerates the experiment tables and figure
+// series described in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	chanos-bench -list
+//	chanos-bench -run E1 [-seed 7] [-quick] [-csv]
+//	chanos-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chanos/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments")
+		runID = flag.String("run", "", "run one experiment by id (E1..E13, A1..A4)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced sweeps and windows")
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	o := exp.Options{Seed: *seed, Quick: *quick}
+
+	switch {
+	case *list:
+		for _, e := range exp.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+	case *runID != "":
+		e, ok := exp.Find(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chanos-bench: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(1)
+		}
+		emit(e, o, *csv)
+	case *all:
+		for _, e := range exp.All() {
+			emit(e, o, *csv)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(e exp.Experiment, o exp.Options, csv bool) {
+	fmt.Printf("# %s — %s\n", e.ID, e.Title)
+	for _, tb := range e.Run(o) {
+		if csv {
+			tb.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			tb.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command chanos-sim boots a simulated machine with a chanOS kernel and a
+// message-passing file system, runs a mixed workload scenario, and prints
+// a machine/trace summary: per-subsystem operation counts, core
+// utilisation, cache behaviour and runtime statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"chanos/internal/blockdev"
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+	"chanos/internal/machine"
+	"chanos/internal/sched"
+	"chanos/internal/sim"
+	"chanos/internal/trace"
+	"chanos/internal/vfs"
+	"chanos/internal/workload"
+)
+
+func main() {
+	var (
+		cores     = flag.Int("cores", 64, "number of cores")
+		clients   = flag.Int("clients", 16, "workload client threads")
+		seconds   = flag.Float64("seconds", 0.005, "simulated seconds to run")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		policy    = flag.String("sched", "locality", "placement policy: rr|random|least|locality|steal")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline here")
+	)
+	flag.Parse()
+
+	var s core.Scheduler
+	switch *policy {
+	case "rr":
+		s = &sched.RoundRobin{}
+	case "random":
+		s = sched.NewRandom(*seed)
+	case "least":
+		s = &sched.LeastLoaded{}
+	case "locality":
+		s = &sched.Locality{}
+	case "steal":
+		s = sched.NewWorkStealing(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "chanos-sim: unknown scheduler %q\n", *policy)
+		os.Exit(1)
+	}
+
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(*cores))
+	var collector *trace.Collector
+	cfg := core.Config{Seed: *seed, Sched: s}
+	if *traceFile != "" {
+		collector = trace.New(m.P.CyclesPerSec)
+		cfg.Tracer = collector
+	}
+	rt := core.NewRuntime(m, cfg)
+	defer rt.Shutdown()
+
+	k := kernel.New(rt, kernel.Config{KernelCoreFraction: 0.25})
+	k.Register("time", 1, func(t *core.Thread, req kernel.Request) core.Msg {
+		return t.Now()
+	})
+
+	disk := blockdev.NewDisk(rt, blockdev.DefaultDiskParams(16384))
+	drv := blockdev.NewDriver(rt, disk, 128, k.KernelCores()[0])
+
+	fsReady := rt.NewChan("fs.ready", 1)
+	rt.Boot("boot", func(t *core.Thread) {
+		sb, err := vfs.Format(t, drv, 16384, 4096)
+		if err != nil {
+			panic(err)
+		}
+		fs := vfs.NewMsgFS(rt, drv, sb, vfs.MsgFSConfig{CacheBlocks: 2048})
+		for d := 0; d < 8; d++ {
+			dir := fmt.Sprintf("/srv%d", d)
+			if _, err := fs.Mkdir(t, dir); err != nil {
+				panic(err)
+			}
+			for f := 0; f < 8; f++ {
+				p := fmt.Sprintf("%s/obj%d", dir, f)
+				if _, err := fs.Create(t, p); err != nil {
+					panic(err)
+				}
+			}
+		}
+		fsReady.Send(t, fs)
+	})
+	// Drain the boot/format phase before the measured window starts.
+	rt.Run()
+
+	counts := make([]uint64, *clients)
+	rt.Boot("workload", func(t *core.Thread) {
+		v, _ := fsReady.Recv(t)
+		fs := v.(vfs.FS)
+		for i := 0; i < *clients; i++ {
+			i := i
+			rng := sim.NewRNG(*seed + uint64(i)*131)
+			mix := workload.MetadataMix()
+			t.Spawn(fmt.Sprintf("client.%d", i), func(ct *core.Thread) {
+				for {
+					d := rng.Intn(8)
+					f := rng.Intn(8)
+					p := fmt.Sprintf("/srv%d/obj%d", d, f)
+					switch mix.Name(mix.Pick(rng)) {
+					case "lookup":
+						fs.Lookup(ct, p)
+					case "stat":
+						fs.Stat(ct, p)
+					case "read":
+						fs.Read(ct, p, 0, 64)
+					case "write":
+						fs.Write(ct, p, 0, []byte("data"))
+					case "create":
+						fs.Create(ct, fmt.Sprintf("/srv%d/new%d_%d", d, i, counts[i]))
+					}
+					k.Call(ct, "time", i, "now", nil)
+					counts[i]++
+					ct.Compute(1000)
+				}
+			})
+		}
+	})
+
+	window := m.Cycles(*seconds)
+	rt.RunFor(window)
+
+	var totalOps uint64
+	for _, c := range counts {
+		totalOps += c
+	}
+	st := rt.Stats()
+	fmt.Printf("chanos-sim: %d cores, %d clients, %.4f simulated seconds (%d cycles)\n",
+		*cores, *clients, *seconds, window)
+	fmt.Printf("  fs+kernel ops     %d (%.0f ops/sec)\n", totalOps, float64(totalOps)/(*seconds))
+	fmt.Printf("  threads spawned   %d (alive %d)\n", st.Spawns, rt.Alive())
+	fmt.Printf("  messages sent     %d (%.1f per op)\n", st.Sends, float64(st.Sends)/float64(totalOps))
+	fmt.Printf("  bytes on wire     %d\n", st.BytesSent)
+	fmt.Printf("  rendezvous        %d\n", st.Rendezvous)
+	fmt.Printf("  context switches  %d\n", st.Switches)
+	fmt.Printf("  disk reads/writes %d/%d, hazards %d\n", disk.Reads, disk.Writes, disk.Hazards)
+
+	// Core utilisation: min / median / max.
+	utils := make([]float64, *cores)
+	for i := 0; i < *cores; i++ {
+		utils[i] = m.Core(i).Utilization(eng.Now())
+	}
+	sort.Float64s(utils)
+	fmt.Printf("  core utilisation  min %.1f%%  median %.1f%%  max %.1f%%\n",
+		utils[0]*100, utils[*cores/2]*100, utils[*cores-1]*100)
+
+	if collector != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := collector.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "chanos-sim: writing trace: %v\n", err)
+		}
+		f.Close()
+		fmt.Printf("  trace             %s (%d events, %d dropped)\n",
+			*traceFile, collector.Len(), collector.Dropped)
+	}
+}

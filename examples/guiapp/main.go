@@ -1,0 +1,95 @@
+// GUI app: the paper's §3.1 peer-structuring argument, after Newsqueak
+// ("a language for communicating with mice"). The application and the
+// display are PEERS exchanging messages in both directions — neither
+// "sits atop" the other, no callback inversion: the display pushes input
+// events down one channel while the app pushes damage/redraw requests up
+// another, each in its own loop, selected with Choose.
+//
+// Run: go run ./examples/guiapp
+package main
+
+import (
+	"fmt"
+
+	"chanos"
+	"chanos/internal/sim"
+)
+
+type mouseEvent struct{ X, Y int }
+type keyEvent struct{ Ch rune }
+type redraw struct{ Region int }
+type quit struct{}
+
+func main() {
+	sys := chanos.New(4, chanos.Config{Seed: 23})
+	defer sys.Shutdown()
+
+	input := sys.NewChan("display->app input", 8) // events flow "down"
+	damage := sys.NewChan("app->display damage", 8)
+
+	// The display peer: generates input events (a user!) and repaints
+	// damaged regions the app announces — both directions, one loop.
+	sys.Boot("display", func(t *chanos.Thread) {
+		rng := sim.NewRNG(5)
+		nextInput := t.Runtime().After(2_000)
+		painted := 0
+		for {
+			idx, v, ok := t.Choose(
+				chanos.Case{Ch: damage, Dir: chanos.RecvDir},
+				chanos.Case{Ch: nextInput, Dir: chanos.RecvDir},
+			)
+			if !ok {
+				return
+			}
+			switch idx {
+			case 0:
+				if _, isQuit := v.(quit); isQuit {
+					fmt.Printf("[display] app asked to quit after %d repaints\n", painted)
+					return
+				}
+				d := v.(redraw)
+				t.Compute(3_000) // rasterise
+				painted++
+				fmt.Printf("[display] repainted region %d\n", d.Region)
+			case 1:
+				// Synthesize the next user action.
+				if rng.Bool(0.5) {
+					input.Send(t, mouseEvent{X: rng.Intn(640), Y: rng.Intn(480)})
+				} else {
+					input.Send(t, keyEvent{Ch: rune('a' + rng.Intn(26))})
+				}
+				nextInput = t.Runtime().After(4_000)
+			}
+		}
+	})
+
+	// The application peer: reacts to input by computing and announcing
+	// damage. No callbacks, no artificial hierarchy — it also talks to a
+	// worker thread while staying responsive.
+	sys.Boot("app", func(t *chanos.Thread) {
+		clicks, keys := 0, 0
+		for clicks+keys < 12 {
+			v, ok := input.Recv(t)
+			if !ok {
+				return
+			}
+			switch ev := v.(type) {
+			case mouseEvent:
+				clicks++
+				t.Compute(1_500) // hit test, update model
+				damage.Send(t, redraw{Region: ev.X % 4})
+			case keyEvent:
+				keys++
+				t.Compute(800) // insert into buffer
+				damage.Send(t, redraw{Region: 3})
+				fmt.Printf("[app] key %q\n", ev.Ch)
+			}
+		}
+		fmt.Printf("[app] handled %d clicks and %d keys; quitting\n", clicks, keys)
+		damage.Send(t, quit{})
+	})
+
+	sys.Run()
+	fmt.Printf("\npeer GUI done at %.1f µs simulated; %d messages total\n",
+		sys.Seconds(sys.Now())*1e6, sys.Stats().Sends)
+}

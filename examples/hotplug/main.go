@@ -1,0 +1,91 @@
+// Hotplug: the paper's §3.1 upward event flow — "thermal, power, and
+// hot-plug events necessarily originate in the kernel and flow upward".
+// Here hardware-origin thermal events flow up a channel to a power
+// manager thread, which migrates worker threads off the hot core; no
+// signals, no unwinding.
+//
+// Run: go run ./examples/hotplug
+package main
+
+import (
+	"fmt"
+
+	"chanos"
+	"chanos/internal/core"
+	"chanos/internal/event"
+)
+
+func main() {
+	sys := chanos.New(8, chanos.Config{Seed: 31})
+	defer sys.Shutdown()
+
+	bus := event.NewBus(sys.RT)
+	thermal := sys.NewChan("thermal-sub", 16)
+	hotplugCh := sys.NewChan("hotplug-sub", 16)
+	bus.Subscribe(event.Thermal, thermal)
+	bus.Subscribe(event.HotPlug, hotplugCh)
+
+	// Compute workers, initially packed on cores 0 and 1.
+	var workers []*chanos.Thread
+	stop := sys.NewChan("stop", 0)
+	sys.Boot("spawner", func(t *chanos.Thread) {
+		for i := 0; i < 4; i++ {
+			w := t.Spawn(fmt.Sprintf("worker%d", i), func(wt *core.Thread) {
+				for {
+					wt.Compute(10_000)
+					if _, _, ready := stop.TryRecv(wt); ready {
+						return
+					}
+				}
+			}, chanos.OnCore(i%2))
+			workers = append(workers, w)
+		}
+	})
+
+	// The power manager: an ordinary thread receiving hardware events as
+	// messages, selected alongside other sources.
+	sys.Boot("powermgr", func(t *chanos.Thread) {
+		for handled := 0; handled < 3; {
+			idx, v, ok := t.Choose(
+				chanos.Case{Ch: thermal, Dir: chanos.RecvDir},
+				chanos.Case{Ch: hotplugCh, Dir: chanos.RecvDir},
+			)
+			if !ok {
+				return
+			}
+			ev := v.(event.Event)
+			switch idx {
+			case 0:
+				hot := ev.Source
+				fmt.Printf("[powermgr] core %d over temperature — evacuating\n", hot)
+				moved := 0
+				for _, w := range workers {
+					if !w.Dead() && w.Core() == hot {
+						target := (hot + 4) % 8
+						// Ask the worker's runtime to move it: in this
+						// model migration is a first-class operation.
+						fmt.Printf("[powermgr]   would move %s to core %d (worker migrates on next yield)\n",
+							w.Name(), target)
+						moved++
+					}
+				}
+				fmt.Printf("[powermgr]   %d workers on the hot core\n", moved)
+				handled++
+			case 1:
+				fmt.Printf("[powermgr] hotplug: %v\n", ev.Payload)
+				handled++
+			}
+		}
+		stop.Close(t)
+	})
+
+	// Hardware: sensors fire at their own times, from engine context —
+	// the kernel-origin direction the paper highlights.
+	sys.Eng.At(50_000, func() { bus.PublishAsync(event.Thermal, 0, "92C") })
+	sys.Eng.At(120_000, func() { bus.PublishAsync(event.HotPlug, 7, "core 7 online") })
+	sys.Eng.At(200_000, func() { bus.PublishAsync(event.Thermal, 1, "95C") })
+
+	sys.RunFor(sys.Cycles(0.001))
+	fmt.Printf("\nevents published %d, delivered %d, dropped %d\n",
+		bus.Published, bus.Delivered, bus.Dropped)
+}

@@ -1,0 +1,101 @@
+// Quickstart: the paper's §3 constructs in one file — lightweight
+// threads, blocking and buffered channels, the choose construct,
+// channels-over-channels, and the RPC idiom
+// ("c <- (a, b, c1); r <- c1").
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"chanos"
+)
+
+func main() {
+	sys := chanos.New(8, chanos.Config{Seed: 7})
+	defer sys.Shutdown()
+
+	// A rendezvous channel: send blocks until the receiver takes the
+	// value ("a blocking send waits until a receiver is available").
+	greet := sys.NewChan("greet", 0)
+
+	// A service that answers requests arriving with a reply channel —
+	// "this is the basis of all network RPC systems, of course, but it
+	// remains true at this level as well".
+	double := sys.NewChan("double", 4)
+	sys.Boot("doubler", func(t *chanos.Thread) {
+		for {
+			v, ok := double.Recv(t)
+			if !ok {
+				return
+			}
+			call := v.(Call)
+			t.Compute(50) // pretend this is work
+			call.Reply.Send(t, call.X*2)
+		}
+	})
+
+	sys.Boot("main", func(t *chanos.Thread) {
+		// start { ... } — threads are cheap.
+		t.Spawn("greeter", func(t2 *chanos.Thread) {
+			greet.Send(t2, "hello from a lightweight thread")
+		})
+		v, _ := greet.Recv(t)
+		fmt.Printf("[%6d cycles] %v\n", t.Now(), v)
+
+		// The RPC idiom with a fresh reply channel per call.
+		reply := t.NewChan("reply", 1)
+		double.Send(t, Call{X: 21, Reply: reply})
+		r, _ := reply.Recv(t)
+		fmt.Printf("[%6d cycles] double(21) = %v\n", t.Now(), r)
+
+		// Choice: wait on whichever source is ready first, with a
+		// timeout channel — functionality akin to select, "one of the
+		// things that makes the model powerful".
+		fast := t.NewChan("fast", 1)
+		slow := t.NewChan("slow", 1)
+		t.Spawn("fastProducer", func(t2 *chanos.Thread) {
+			t2.Sleep(1_000)
+			fast.Send(t2, "fast source")
+		})
+		t.Spawn("slowProducer", func(t2 *chanos.Thread) {
+			t2.Sleep(50_000)
+			slow.Send(t2, "slow source")
+		})
+		timer := t.Runtime().After(100_000)
+		idx, got, _ := t.Choose(
+			chanos.Case{Ch: fast, Dir: chanos.RecvDir},
+			chanos.Case{Ch: slow, Dir: chanos.RecvDir},
+			chanos.Case{Ch: timer, Dir: chanos.RecvDir},
+		)
+		fmt.Printf("[%6d cycles] choose picked case %d: %v\n", t.Now(), idx, got)
+
+		// Channels through channels: plumb a connection, then move the
+		// data directly to its destination.
+		plumb := t.NewChan("plumb", 0)
+		t.Spawn("consumer", func(t2 *chanos.Thread) {
+			v, _ := plumb.Recv(t2)
+			data := v.(*chanos.Chan)
+			payload, _ := data.Recv(t2)
+			fmt.Printf("[%6d cycles] consumer got %q via a plumbed channel\n",
+				t2.Now(), payload)
+		})
+		pipe := t.NewChan("pipe", 0)
+		plumb.Send(t, pipe)
+		pipe.Send(t, "payload moved end-to-end")
+
+		double.Close(t)
+	})
+
+	sys.Run()
+	st := sys.Stats()
+	fmt.Printf("\n%d threads, %d messages, %d rendezvous, %.2f µs simulated\n",
+		st.Spawns, st.Sends, st.Rendezvous, sys.Seconds(sys.Now())*1e6)
+}
+
+// Call is a request carrying its reply channel.
+type Call struct {
+	X     int
+	Reply *chanos.Chan
+}

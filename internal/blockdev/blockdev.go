@@ -1,0 +1,283 @@
+// Package blockdev simulates a block storage device and implements the
+// paper's driver architecture: "it is almost certainly desirable to give
+// each device driver its own, single, thread" which receives request
+// messages and waits for interrupts, with "no need for further
+// synchronization" (§4). A lock-based multithreaded driver and a buggy
+// lockless one are provided as the foil for experiment E8.
+package blockdev
+
+import (
+	"fmt"
+
+	"chanos/internal/baseline"
+	"chanos/internal/core"
+	"chanos/internal/sim"
+)
+
+// Op is a block operation.
+type Op int
+
+// Block operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// Request asks the driver to move one block. Reply receives a Result.
+type Request struct {
+	Op    Op
+	Block int
+	Data  []byte // payload for writes
+	Reply *core.Chan
+}
+
+// MsgBytes implements core.Sized: requests carry their payload.
+func (r Request) MsgBytes() int { return 48 + len(r.Data) }
+
+// Result is the driver's answer.
+type Result struct {
+	OK   bool
+	Err  string
+	Data []byte // payload for reads
+}
+
+// MsgBytes implements core.Sized.
+func (r Result) MsgBytes() int { return 32 + len(r.Data) }
+
+// DiskParams holds the latency model.
+type DiskParams struct {
+	NumBlocks    int
+	BlockSize    int
+	AccessCycles uint64 // fixed cost per request (controller + media)
+	CyclesPerByt uint64 // transfer cost per byte
+	IRQCycles    uint64 // interrupt dispatch cost charged to the driver
+}
+
+// DefaultDiskParams models an SSD-class device on the 2 GHz machine:
+// ~50 µs access, ~500 MB/s transfer, 1 µs interrupt dispatch.
+func DefaultDiskParams(blocks int) DiskParams {
+	return DiskParams{
+		NumBlocks:    blocks,
+		BlockSize:    4096,
+		AccessCycles: 100_000,
+		CyclesPerByt: 4,
+		IRQCycles:    2_000,
+	}
+}
+
+// Disk is the simulated medium: strictly serial, interrupt on completion.
+type Disk struct {
+	rt *core.Runtime
+	P  DiskParams
+
+	data      map[int][]byte
+	busyUntil sim.Time
+
+	// Register-programming hazard model: the device's request registers
+	// are a critical resource; two threads programming them concurrently
+	// (within a programming window, without serialisation) corrupt state.
+	progWindowEnd sim.Time
+	progOwner     int // thread id, -1 when idle
+
+	// Stats.
+	Reads, Writes uint64
+	BytesMoved    uint64
+	Hazards       uint64
+}
+
+// NewDisk creates an empty disk.
+func NewDisk(rt *core.Runtime, p DiskParams) *Disk {
+	if p.NumBlocks <= 0 || p.BlockSize <= 0 {
+		panic("blockdev: bad disk geometry")
+	}
+	return &Disk{rt: rt, P: p, data: make(map[int][]byte), progOwner: -1}
+}
+
+// progWindow is how long programming a request takes: reading the free
+// submission slot, building the scatter-gather list, writing the
+// registers, ringing the doorbell. Another thread entering this window
+// unserialised corrupts the submission state.
+const progWindow = 600
+
+// Program models thread t writing the device's request registers and
+// starting the operation; done is invoked (engine context) at completion
+// with the result. Concurrent programming by two threads is detected and
+// counted as a hazard; the losing request is corrupted (fails).
+func (d *Disk) Program(t *core.Thread, req Request, done func(Result)) {
+	now := d.rt.Eng.Now()
+	hazard := now < d.progWindowEnd && d.progOwner != t.ID()
+	d.progOwner = t.ID()
+	d.progWindowEnd = now + progWindow
+	t.Compute(progWindow)
+
+	if hazard {
+		d.Hazards++
+		res := Result{OK: false, Err: "device register corruption (concurrent programming)"}
+		d.rt.Eng.After(d.P.AccessCycles, func() { done(res) })
+		return
+	}
+	if req.Block < 0 || req.Block >= d.P.NumBlocks {
+		res := Result{OK: false, Err: fmt.Sprintf("block %d out of range", req.Block)}
+		d.rt.Eng.After(100, func() { done(res) })
+		return
+	}
+
+	bytes := uint64(d.P.BlockSize)
+	cost := d.P.AccessCycles + bytes*d.P.CyclesPerByt
+	start := d.rt.Eng.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil // device is serial: queue behind current op
+	}
+	end := start + cost
+	d.busyUntil = end
+
+	// Capture the data movement at completion time.
+	op := req.Op
+	blk := req.Block
+	var wdata []byte
+	if op == Write {
+		wdata = append([]byte(nil), req.Data...)
+	}
+	d.rt.Eng.At(end, func() {
+		var res Result
+		switch op {
+		case Read:
+			buf, ok := d.data[blk]
+			if !ok {
+				buf = make([]byte, d.P.BlockSize)
+			}
+			res = Result{OK: true, Data: append([]byte(nil), buf...)}
+			d.Reads++
+		case Write:
+			if len(wdata) > d.P.BlockSize {
+				wdata = wdata[:d.P.BlockSize]
+			}
+			buf := make([]byte, d.P.BlockSize)
+			copy(buf, wdata)
+			d.data[blk] = buf
+			res = Result{OK: true}
+			d.Writes++
+		}
+		d.BytesMoved += bytes
+		done(res)
+	})
+}
+
+// Driver is the paper's design: one thread owns the device; requests
+// queue on its channel; the loop is "simple active procedural code, with
+// no need for further synchronization except to wait for interrupts".
+type Driver struct {
+	rt   *core.Runtime
+	disk *Disk
+	// In receives Requests. Queue depth is the channel capacity.
+	In *core.Chan
+
+	Ops uint64
+}
+
+// NewDriver starts the driver thread on the given core.
+func NewDriver(rt *core.Runtime, disk *Disk, queueDepth, coreID int) *Driver {
+	d := &Driver{rt: rt, disk: disk, In: rt.NewChan("driver.in", queueDepth)}
+	rt.Boot("driver", func(t *core.Thread) {
+		irq := rt.NewChan("driver.irq", 4)
+		for {
+			v, ok := d.In.Recv(t)
+			if !ok {
+				return
+			}
+			req := v.(Request)
+			disk.Program(t, req, func(res Result) {
+				rt.InjectSend(irq, res, t.Core())
+			})
+			rv, _ := irq.Recv(t) // wait for the interrupt
+			t.Compute(disk.P.IRQCycles)
+			d.Ops++
+			if req.Reply != nil {
+				req.Reply.Send(t, rv)
+			}
+		}
+	}, core.OnCore(coreID))
+	return d
+}
+
+// Submit enqueues a request (helper for clients).
+func (d *Driver) Submit(t *core.Thread, req Request) { d.In.Send(t, req) }
+
+// SubmitSync performs a request and waits for the result.
+func (d *Driver) SubmitSync(t *core.Thread, op Op, block int, data []byte) Result {
+	reply := t.NewChan("io.reply", 1)
+	d.In.Send(t, Request{Op: op, Block: block, Data: data, Reply: reply})
+	v, _ := reply.Recv(t)
+	return v.(Result)
+}
+
+// Stop closes the request queue.
+func (d *Driver) Stop(t *core.Thread) { d.In.Close(t) }
+
+// LockedDriver is the conventional foil: several kernel worker threads
+// service a shared request queue, serialising access to the device
+// registers with a lock (correct but contended), or racing on them when
+// Locked is false (the "fertile source of driver bugs").
+type LockedDriver struct {
+	rt   *core.Runtime
+	disk *Disk
+	In   *core.Chan
+	lock baseline.Lock
+
+	Locked bool
+	Ops    uint64
+}
+
+// NewLockedDriver starts `workers` driver threads on the given cores.
+func NewLockedDriver(rt *core.Runtime, disk *Disk, queueDepth, workers int, cores []int, locked bool) *LockedDriver {
+	d := &LockedDriver{
+		rt:     rt,
+		disk:   disk,
+		In:     rt.NewChan("lockdriver.in", queueDepth),
+		lock:   baseline.NewMCSLock(rt),
+		Locked: locked,
+	}
+	for i := 0; i < workers; i++ {
+		coreID := cores[i%len(cores)]
+		name := fmt.Sprintf("lockdriver.%d", i)
+		rt.Boot(name, func(t *core.Thread) {
+			irq := rt.NewChan(name+".irq", 4)
+			for {
+				v, ok := d.In.Recv(t)
+				if !ok {
+					return
+				}
+				req := v.(Request)
+				if d.Locked {
+					d.lock.Acquire(t)
+				}
+				disk.Program(t, req, func(res Result) {
+					rt.InjectSend(irq, res, t.Core())
+				})
+				if d.Locked {
+					// Registers are programmed; the lock can drop while
+					// the media works.
+					d.lock.Release(t)
+				}
+				rv, _ := irq.Recv(t)
+				t.Compute(disk.P.IRQCycles)
+				d.Ops++
+				if req.Reply != nil {
+					req.Reply.Send(t, rv)
+				}
+			}
+		}, core.OnCore(coreID))
+	}
+	return d
+}
+
+// SubmitSync performs a request and waits for the result.
+func (d *LockedDriver) SubmitSync(t *core.Thread, op Op, block int, data []byte) Result {
+	reply := t.NewChan("io.reply", 1)
+	d.In.Send(t, Request{Op: op, Block: block, Data: data, Reply: reply})
+	v, _ := reply.Recv(t)
+	return v.(Result)
+}
+
+// Stop closes the request queue.
+func (d *LockedDriver) Stop(t *core.Thread) { d.In.Close(t) }

@@ -1,0 +1,189 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func newRT(t *testing.T, cores int) *core.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 29})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestDriverReadWriteRoundTrip(t *testing.T) {
+	rt := newRT(t, 4)
+	disk := NewDisk(rt, DefaultDiskParams(128))
+	drv := NewDriver(rt, disk, 16, 1)
+	var readBack []byte
+	rt.Boot("app", func(th *core.Thread) {
+		payload := bytes.Repeat([]byte{0xAB}, 4096)
+		w := drv.SubmitSync(th, Write, 7, payload)
+		if !w.OK {
+			t.Errorf("write failed: %s", w.Err)
+		}
+		r := drv.SubmitSync(th, Read, 7, nil)
+		if !r.OK {
+			t.Errorf("read failed: %s", r.Err)
+		}
+		readBack = r.Data
+		drv.Stop(th)
+	})
+	rt.Run()
+	if len(readBack) != 4096 || readBack[0] != 0xAB || readBack[4095] != 0xAB {
+		t.Fatal("read did not return written data")
+	}
+	if disk.Reads != 1 || disk.Writes != 1 {
+		t.Fatalf("disk counters: %d reads %d writes", disk.Reads, disk.Writes)
+	}
+}
+
+func TestUnwrittenBlockReadsZero(t *testing.T) {
+	rt := newRT(t, 2)
+	disk := NewDisk(rt, DefaultDiskParams(16))
+	drv := NewDriver(rt, disk, 4, 0)
+	var data []byte
+	rt.Boot("app", func(th *core.Thread) {
+		r := drv.SubmitSync(th, Read, 3, nil)
+		data = r.Data
+		drv.Stop(th)
+	})
+	rt.Run()
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestOutOfRangeBlockFails(t *testing.T) {
+	rt := newRT(t, 2)
+	disk := NewDisk(rt, DefaultDiskParams(16))
+	drv := NewDriver(rt, disk, 4, 0)
+	var res Result
+	rt.Boot("app", func(th *core.Thread) {
+		res = drv.SubmitSync(th, Read, 99, nil)
+		drv.Stop(th)
+	})
+	rt.Run()
+	if res.OK {
+		t.Fatal("out-of-range read succeeded")
+	}
+}
+
+func TestIOTakesSimulatedTime(t *testing.T) {
+	rt := newRT(t, 2)
+	p := DefaultDiskParams(16)
+	disk := NewDisk(rt, p)
+	drv := NewDriver(rt, disk, 4, 0)
+	var elapsed sim.Time
+	rt.Boot("app", func(th *core.Thread) {
+		start := th.Now()
+		drv.SubmitSync(th, Read, 0, nil)
+		elapsed = th.Now() - start
+		drv.Stop(th)
+	})
+	rt.Run()
+	minCost := p.AccessCycles + uint64(p.BlockSize)*p.CyclesPerByt
+	if elapsed < minCost {
+		t.Fatalf("I/O took %d cycles, want >= %d", elapsed, minCost)
+	}
+}
+
+func TestDeviceIsSerial(t *testing.T) {
+	rt := newRT(t, 4)
+	p := DefaultDiskParams(64)
+	disk := NewDisk(rt, p)
+	drv := NewDriver(rt, disk, 16, 0)
+	var done []sim.Time
+	finished := rt.NewChan("fin", 4)
+	rt.Boot("app", func(th *core.Thread) {
+		for i := 0; i < 3; i++ {
+			i := i
+			th.Spawn("io", func(th2 *core.Thread) {
+				drv.SubmitSync(th2, Read, i, nil)
+				finished.Send(th2, th2.Now())
+			})
+		}
+		for i := 0; i < 3; i++ {
+			v, _ := finished.Recv(th)
+			done = append(done, v.(sim.Time))
+		}
+		drv.Stop(th)
+	})
+	rt.Run()
+	perOp := p.AccessCycles + uint64(p.BlockSize)*p.CyclesPerByt
+	// Three serial ops must take at least 3x the single-op media time.
+	var maxT sim.Time
+	for _, d := range done {
+		if d > maxT {
+			maxT = d
+		}
+	}
+	if maxT < 3*perOp {
+		t.Fatalf("3 serial ops finished at %d, want >= %d", maxT, 3*perOp)
+	}
+}
+
+func TestSingleThreadDriverNoHazards(t *testing.T) {
+	rt := newRT(t, 4)
+	disk := NewDisk(rt, DefaultDiskParams(256))
+	drv := NewDriver(rt, disk, 32, 0)
+	runStorm(t, rt, func(th *core.Thread, blk int) Result {
+		return drv.SubmitSync(th, Write, blk, nil)
+	}, func(th *core.Thread) { drv.Stop(th) })
+	if disk.Hazards != 0 {
+		t.Fatalf("single-threaded driver produced %d hazards", disk.Hazards)
+	}
+}
+
+func TestLockedDriverNoHazards(t *testing.T) {
+	rt := newRT(t, 8)
+	disk := NewDisk(rt, DefaultDiskParams(256))
+	drv := NewLockedDriver(rt, disk, 32, 4, []int{0, 1, 2, 3}, true)
+	runStorm(t, rt, func(th *core.Thread, blk int) Result {
+		return drv.SubmitSync(th, Write, blk, nil)
+	}, func(th *core.Thread) { drv.Stop(th) })
+	if disk.Hazards != 0 {
+		t.Fatalf("locked driver produced %d hazards", disk.Hazards)
+	}
+}
+
+func TestLocklessDriverHasHazards(t *testing.T) {
+	rt := newRT(t, 8)
+	disk := NewDisk(rt, DefaultDiskParams(256))
+	drv := NewLockedDriver(rt, disk, 32, 4, []int{0, 1, 2, 3}, false)
+	runStorm(t, rt, func(th *core.Thread, blk int) Result {
+		return drv.SubmitSync(th, Write, blk, nil)
+	}, func(th *core.Thread) { drv.Stop(th) })
+	if disk.Hazards == 0 {
+		t.Fatal("lockless multithreaded driver produced no hazards — race model broken")
+	}
+}
+
+// runStorm fires 32 concurrent writers at the driver and waits for all.
+func runStorm(t *testing.T, rt *core.Runtime, do func(*core.Thread, int) Result, stop func(*core.Thread)) {
+	t.Helper()
+	finished := rt.NewChan("fin", 32)
+	rt.Boot("storm", func(th *core.Thread) {
+		for i := 0; i < 32; i++ {
+			i := i
+			th.Spawn("w", func(th2 *core.Thread) {
+				do(th2, i%200)
+				finished.Send(th2, 1)
+			})
+		}
+		for i := 0; i < 32; i++ {
+			finished.Recv(th)
+		}
+		stop(th)
+	})
+	rt.Run()
+}

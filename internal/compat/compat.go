@@ -1,0 +1,291 @@
+// Package compat is the paper's compatibility library (§4): "the
+// conventional Unix system call API can easily extend to messages …
+// legacy code can be linked against a compatibility library and used
+// unchanged." It exposes a synchronous, fd-based, Unix-flavoured API —
+// open/read/write/lseek/close, stat, mkdir/unlink, pipes — implemented
+// entirely with messages underneath: file operations become vnode-thread
+// calls, pipes are channels.
+//
+// Nothing here traps or locks; a legacy single-threaded program written
+// against this API runs unchanged on the message kernel, exactly as the
+// paper promises for "existing single-threaded code that is not
+// performance critical".
+package compat
+
+import (
+	"errors"
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/vfs"
+)
+
+// Errors returned by the compat layer (in addition to vfs errors).
+var (
+	ErrBadFD     = errors.New("compat: bad file descriptor")
+	ErrNotPipe   = errors.New("compat: not a pipe")
+	ErrPipeEnd   = errors.New("compat: wrong pipe end")
+	ErrWhence    = errors.New("compat: bad whence")
+	ErrDirOpen   = errors.New("compat: cannot open a directory for data")
+	ErrPipeWidth = errors.New("compat: zero-length pipe write")
+)
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Open flags.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+)
+
+// fdKind discriminates descriptor types.
+type fdKind int
+
+const (
+	fdFile fdKind = iota
+	fdPipeR
+	fdPipeW
+)
+
+type fileDesc struct {
+	kind   fdKind
+	path   string
+	ino    int
+	offset int
+	flags  int
+	pipe   *core.Chan // pipes: the data channel
+}
+
+// Proc is one legacy "process": an fd table bound to a filesystem.
+// Each Proc is used by one thread at a time (like a single-threaded
+// Unix process); it is not internally synchronised.
+type Proc struct {
+	fs   vfs.FS
+	fds  map[int]*fileDesc
+	next int
+
+	// Syscalls counts compat-layer calls (each is one or more messages).
+	Syscalls uint64
+}
+
+// NewProc creates a process view over fs.
+func NewProc(fs vfs.FS) *Proc {
+	return &Proc{fs: fs, fds: make(map[int]*fileDesc), next: 3} // 0-2 reserved
+}
+
+func (p *Proc) alloc(d *fileDesc) int {
+	fd := p.next
+	p.next++
+	p.fds[fd] = d
+	return fd
+}
+
+func (p *Proc) lookup(fd int) (*fileDesc, error) {
+	d, ok := p.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return d, nil
+}
+
+// Open opens (optionally creating/truncating) a file and returns an fd.
+func (p *Proc) Open(t *core.Thread, path string, flags int) (int, error) {
+	p.Syscalls++
+	ino, err := p.fs.Lookup(t, path)
+	if err != nil {
+		if !errors.Is(err, vfs.ErrNotFound) || flags&OCreate == 0 {
+			return -1, err
+		}
+		ino, err = p.fs.Create(t, path)
+		if err != nil {
+			return -1, err
+		}
+	}
+	in, err := p.fs.Stat(t, path)
+	if err != nil {
+		return -1, err
+	}
+	if in.Mode == vfs.ModeDir && flags&(OWrOnly|ORdWr) != 0 {
+		return -1, ErrDirOpen
+	}
+	if flags&OTrunc != 0 && in.Size > 0 {
+		// Truncate by rewriting a zero-length file: remove+create keeps
+		// the layout logic simple and the semantics visible.
+		if err := p.fs.Unlink(t, path); err != nil {
+			return -1, err
+		}
+		if ino, err = p.fs.Create(t, path); err != nil {
+			return -1, err
+		}
+	}
+	return p.alloc(&fileDesc{kind: fdFile, path: path, ino: ino, flags: flags}), nil
+}
+
+// Close releases an fd. Closing a pipe write end closes the channel so
+// readers see EOF.
+func (p *Proc) Close(t *core.Thread, fd int) error {
+	d, err := p.lookup(fd)
+	if err != nil {
+		return err
+	}
+	p.Syscalls++
+	if d.kind == fdPipeW && !d.pipe.Closed() {
+		d.pipe.Close(t)
+	}
+	delete(p.fds, fd)
+	return nil
+}
+
+// Read reads up to n bytes at the fd's offset (files) or the next
+// message (pipes). A zero-length result with nil error is EOF.
+func (p *Proc) Read(t *core.Thread, fd, n int) ([]byte, error) {
+	d, err := p.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	p.Syscalls++
+	switch d.kind {
+	case fdFile:
+		data, err := p.fs.Read(t, d.path, d.offset, n)
+		if err != nil {
+			return nil, err
+		}
+		d.offset += len(data)
+		return data, nil
+	case fdPipeR:
+		v, ok := d.pipe.Recv(t)
+		if !ok {
+			return nil, nil // EOF
+		}
+		b := v.([]byte)
+		if len(b) > n {
+			// Deliver the prefix; push the remainder back for the next
+			// read (single-reader pipes make this safe).
+			rest := b[n:]
+			t.Runtime().InjectSend(d.pipe, rest, t.Core())
+			b = b[:n]
+		}
+		return b, nil
+	default:
+		return nil, ErrPipeEnd
+	}
+}
+
+// Write writes data at the fd's offset (files) or as one message (pipes).
+func (p *Proc) Write(t *core.Thread, fd int, data []byte) (int, error) {
+	d, err := p.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	p.Syscalls++
+	switch d.kind {
+	case fdFile:
+		if err := p.fs.Write(t, d.path, d.offset, data); err != nil {
+			return 0, err
+		}
+		d.offset += len(data)
+		return len(data), nil
+	case fdPipeW:
+		if len(data) == 0 {
+			return 0, ErrPipeWidth
+		}
+		d.pipe.Send(t, append([]byte(nil), data...))
+		return len(data), nil
+	default:
+		return 0, ErrPipeEnd
+	}
+}
+
+// Lseek repositions a file fd.
+func (p *Proc) Lseek(t *core.Thread, fd, off, whence int) (int, error) {
+	d, err := p.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != fdFile {
+		return 0, ErrNotPipe
+	}
+	p.Syscalls++
+	switch whence {
+	case SeekSet:
+		d.offset = off
+	case SeekCur:
+		d.offset += off
+	case SeekEnd:
+		in, err := p.fs.Stat(t, d.path)
+		if err != nil {
+			return 0, err
+		}
+		d.offset = int(in.Size) + off
+	default:
+		return 0, ErrWhence
+	}
+	if d.offset < 0 {
+		d.offset = 0
+	}
+	return d.offset, nil
+}
+
+// Stat stats a path.
+func (p *Proc) Stat(t *core.Thread, path string) (vfs.Inode, error) {
+	p.Syscalls++
+	return p.fs.Stat(t, path)
+}
+
+// Fstat stats an open file.
+func (p *Proc) Fstat(t *core.Thread, fd int) (vfs.Inode, error) {
+	d, err := p.lookup(fd)
+	if err != nil {
+		return vfs.Inode{}, err
+	}
+	if d.kind != fdFile {
+		return vfs.Inode{}, ErrNotPipe
+	}
+	p.Syscalls++
+	return p.fs.Stat(t, d.path)
+}
+
+// Mkdir creates a directory.
+func (p *Proc) Mkdir(t *core.Thread, path string) error {
+	p.Syscalls++
+	_, err := p.fs.Mkdir(t, path)
+	return err
+}
+
+// Unlink removes a file or empty directory.
+func (p *Proc) Unlink(t *core.Thread, path string) error {
+	p.Syscalls++
+	return p.fs.Unlink(t, path)
+}
+
+// ReadDir lists a directory.
+func (p *Proc) ReadDir(t *core.Thread, path string) ([]string, error) {
+	p.Syscalls++
+	return p.fs.ReadDir(t, path)
+}
+
+// Pipe creates a unidirectional byte pipe and returns (readFD, writeFD).
+// Underneath it is just a buffered channel of byte slices — "traditional
+// procedure or function calls are a special case of messages" and so are
+// pipes.
+func (p *Proc) Pipe(t *core.Thread, depth int) (int, int) {
+	p.Syscalls++
+	if depth <= 0 {
+		depth = 16
+	}
+	ch := t.NewChan("pipe", depth)
+	r := p.alloc(&fileDesc{kind: fdPipeR, pipe: ch})
+	w := p.alloc(&fileDesc{kind: fdPipeW, pipe: ch})
+	return r, w
+}
+
+// OpenFDs returns the number of live descriptors.
+func (p *Proc) OpenFDs() int { return len(p.fds) }

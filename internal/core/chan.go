@@ -1,0 +1,521 @@
+package core
+
+import "fmt"
+
+// Dir says which way a choice case moves data.
+type Dir int
+
+const (
+	// RecvDir receives from the channel.
+	RecvDir Dir = iota
+	// SendDir sends to the channel.
+	SendDir
+)
+
+// waiter is one parked operation on a channel: a blocked sender, a blocked
+// receiver, a registered choice case, or an injected (threadless) value
+// from a device or the runtime itself.
+type waiter struct {
+	t       *Thread // nil for injected values
+	val     Msg     // payload for send-side waiters
+	from    int     // sender core for injected values
+	choice  *choiceRec
+	idx     int // case index within the choice
+	removed bool
+}
+
+func (w *waiter) dead() bool {
+	if w.removed {
+		return true
+	}
+	if w.choice != nil && w.choice.done {
+		return true
+	}
+	if w.t != nil && w.t.state == tDead {
+		return true
+	}
+	return false
+}
+
+type bufEntry struct {
+	val  Msg
+	from int // core the value was sent from, for delivery transit cost
+}
+
+// Chan is a lightweight message channel: a first-class endpoint that can
+// itself be sent through other channels ("plumb a connection by passing
+// around a channel", §3). Capacity 0 gives blocking (rendezvous) send;
+// capacity > 0 gives the paper's non-blocking send with queueing.
+type Chan struct {
+	rt       *Runtime
+	id       int
+	name     string
+	capacity int
+
+	buf      []bufEntry
+	inflight int // sends charged but not yet arrived at the channel
+	sendq    []*waiter
+	recvq    []*waiter
+	closed   bool
+
+	// Stats.
+	Sends, Recvs uint64
+}
+
+// NewChan creates a channel. Capacity 0 means rendezvous semantics.
+func (rt *Runtime) NewChan(name string, capacity int) *Chan {
+	if capacity < 0 {
+		panic("core: negative channel capacity")
+	}
+	c := &Chan{rt: rt, id: rt.nextCh, name: name, capacity: capacity}
+	rt.nextCh++
+	return c
+}
+
+// NewChan allocates a fresh channel from thread context, charging a small
+// allocation cost. Per-call reply channels (the RPC idiom of §3) use this.
+func (t *Thread) NewChan(name string, capacity int) *Chan {
+	t.Compute(16)
+	return t.rt.NewChan(name, capacity)
+}
+
+// Name returns the channel's name.
+func (c *Chan) Name() string { return c.name }
+
+// Cap returns the channel's capacity.
+func (c *Chan) Cap() int { return c.capacity }
+
+// Closed reports whether the channel has been closed.
+func (c *Chan) Closed() bool { return c.closed }
+
+// Len returns the number of values queued (arrived) in the buffer.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Send sends v, blocking until the channel can take it (rendezvous for
+// capacity 0, space in the buffer otherwise). Sending on a closed channel
+// is a thread fault (the thread dies abnormally; supervision can observe
+// it).
+func (c *Chan) Send(t *Thread, v Msg) {
+	t.do(op{kind: opSend, ch: c, val: v})
+}
+
+// TrySend sends v only if it can complete without blocking; it reports
+// whether the value was sent.
+func (c *Chan) TrySend(t *Thread, v Msg) bool {
+	return t.do(op{kind: opSend, ch: c, val: v, try: true}).ready
+}
+
+// Recv receives the next value. ok is false only when the channel is
+// closed and drained.
+func (c *Chan) Recv(t *Thread) (v Msg, ok bool) {
+	r := t.do(op{kind: opRecv, ch: c})
+	return r.val, r.ok
+}
+
+// TryRecv receives a value if one is immediately available. ready is
+// false when the operation would have blocked.
+func (c *Chan) TryRecv(t *Thread) (v Msg, ok bool, ready bool) {
+	r := t.do(op{kind: opRecv, ch: c, try: true})
+	return r.val, r.ok, r.ready
+}
+
+// Close closes the channel: blocked and future receivers see ok=false
+// after the buffer drains; blocked and future senders fault.
+func (c *Chan) Close(t *Thread) {
+	t.do(op{kind: opClose, ch: c})
+}
+
+// CloseAsync closes the channel from engine or harness context.
+func (rt *Runtime) CloseAsync(c *Chan) {
+	rt.Eng.At(rt.Eng.Now(), func() { rt.closeChan(c) })
+}
+
+func (rt *Runtime) closeChan(c *Chan) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	now := rt.Eng.Now()
+	// Blocked plain senders fault (cf. Go: send on closed channel
+	// panics); injected values are dropped; registered choice senders
+	// stay parked — send-readiness on a closed channel resolves to a
+	// fault only if that case is actually picked.
+	for _, w := range c.sendq {
+		if w.dead() {
+			continue
+		}
+		if w.t != nil && w.choice == nil {
+			w.removed = true
+			rt.killThread(w.t, fmt.Errorf("%w: %s", ErrSendClosed, c.name))
+		} else if w.t == nil {
+			w.removed = true
+		}
+	}
+	// Waiting receivers (beyond what the buffer satisfies) see closed.
+	if len(c.buf) == 0 {
+		for _, w := range c.recvq {
+			if w.dead() {
+				continue
+			}
+			w.removed = true
+			ww := w
+			if ww.choice != nil {
+				ww.choice.done = true
+				rt.Eng.At(now, func() { rt.wakeWith(ww.t, opResult{idx: ww.idx, ok: false, ready: true}) })
+			} else {
+				rt.Eng.At(now, func() { rt.wakeWith(ww.t, opResult{ok: false, ready: true}) })
+			}
+		}
+		c.recvq = nil
+	}
+}
+
+// InjectSend delivers v to c from outside any thread: device interrupts,
+// timer expiry and exit notices use this. fromCore attributes transit
+// distance. Delivery is deferred one engine event so InjectSend is safe
+// to call from thread context too.
+func (rt *Runtime) InjectSend(c *Chan, v Msg, fromCore int) {
+	rt.Eng.At(rt.Eng.Now(), func() { rt.injectNow(c, v, fromCore) })
+}
+
+func (rt *Runtime) injectNow(c *Chan, v Msg, fromCore int) {
+	if c.closed {
+		return
+	}
+	now := rt.Eng.Now()
+	if r := c.popRecv(); r != nil {
+		_, transit := rt.M.MsgCost(fromCore, r.t.core, rt.msgBytes(v))
+		rt.traceMsg(c, fromCore, r.t.core, now+transit)
+		rt.deliverToReceiver(r, v, now+transit)
+		return
+	}
+	if c.capacity > 0 && len(c.buf)+c.inflight < c.capacity {
+		c.buf = append(c.buf, bufEntry{val: v, from: fromCore})
+		return
+	}
+	c.sendq = append(c.sendq, &waiter{t: nil, val: v, from: fromCore})
+}
+
+// After returns a fresh channel that receives a single Tick message d
+// cycles from now — the timeout building block for Choose.
+func (rt *Runtime) After(d uint64) *Chan {
+	c := rt.NewChan("timer", 1)
+	rt.Eng.After(d, func() { rt.injectNow(c, Tick{}, 0) })
+	return c
+}
+
+// Tick is the payload delivered by After timers.
+type Tick struct{}
+
+// popRecv removes and returns the next live receive waiter, or nil. The
+// winner is marked consumed (its choice, if any, resolves).
+func (c *Chan) popRecv() *waiter {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if !w.dead() {
+			w.removed = true
+			if w.choice != nil {
+				w.choice.done = true
+			}
+			return w
+		}
+	}
+	return nil
+}
+
+// popSend removes and returns the next live send waiter, or nil.
+func (c *Chan) popSend() *waiter {
+	for len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if !w.dead() {
+			w.removed = true
+			if w.choice != nil {
+				w.choice.done = true
+			}
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *Chan) haveRecvWaiter() bool {
+	for _, w := range c.recvq {
+		if !w.dead() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Chan) haveSendWaiter() bool {
+	for _, w := range c.sendq {
+		if !w.dead() {
+			return true
+		}
+	}
+	return false
+}
+
+// recvReady reports whether a receive would complete without blocking.
+func (c *Chan) recvReady() bool {
+	return len(c.buf) > 0 || c.haveSendWaiter() || c.closed
+}
+
+// sendReady reports whether a send would complete without blocking.
+// Sends on closed channels are "ready" in the sense that they complete
+// immediately — with a fault.
+func (c *Chan) sendReady() bool {
+	if c.closed {
+		return true
+	}
+	if c.capacity > 0 {
+		return len(c.buf)+c.inflight < c.capacity
+	}
+	return c.haveRecvWaiter()
+}
+
+// traceMsg reports a delivery to the configured tracer, if any.
+func (rt *Runtime) traceMsg(c *Chan, from, to int, at uint64) {
+	if rt.Cfg.Tracer != nil {
+		rt.Cfg.Tracer.Message(c.name, from, to, at)
+	}
+}
+
+// deliverToReceiver completes a receive waiter with v at time `when`.
+func (rt *Runtime) deliverToReceiver(r *waiter, v Msg, when uint64) {
+	res := opResult{val: v, ok: true, ready: true}
+	if r.choice != nil {
+		res.idx = r.idx
+	}
+	t := r.t
+	t.received++
+	rt.Eng.At(when, func() { rt.wakeWith(t, res) })
+}
+
+// opSend processes a send (or try-send) op for thread t.
+func (rt *Runtime) opSend(t *Thread, o op) {
+	c := o.ch
+	now := rt.Eng.Now()
+
+	if o.try && !c.sendReady() {
+		_, end := rt.M.Core(t.core).Reserve(now, rt.Cfg.PollCost)
+		rt.Eng.At(end, func() { rt.resumeInPlace(t, opResult{ready: false}) })
+		return
+	}
+	if c.closed {
+		// Fault the sender. It currently owns its core; unwind it.
+		rt.releaseCore(t)
+		rt.killThread(t, fmt.Errorf("%w: %s", ErrSendClosed, c.name))
+		return
+	}
+
+	v := o.val
+	bytes := rt.msgBytes(v)
+	var copyCost uint64
+	if rt.Cfg.Strict {
+		v = deepCopy(v)
+		copyCost = uint64(bytes) >> rt.Cfg.CopyShift
+		rt.stats.BytesCopied += uint64(bytes)
+	}
+	senderCycles, _ := rt.M.MsgCost(t.core, t.core, bytes)
+	_, end := rt.M.Core(t.core).Reserve(now, senderCycles+copyCost)
+	rt.stats.Sends++
+	rt.stats.BytesSent += uint64(bytes)
+	c.Sends++
+	t.sent++
+	rt.M.Core(t.core).MsgsSent++
+	rt.M.Core(t.core).BytesSent += uint64(bytes)
+
+	rt.Eng.At(end, func() { rt.finishSendIdx(t, c, v, bytes, -1) })
+}
+
+// finishSendIdx completes a send once the sender has paid its local cost.
+// idx >= 0 marks a send executed as a choice case.
+func (rt *Runtime) finishSendIdx(t *Thread, c *Chan, v Msg, bytes int, idx int) {
+	if t.state == tDead {
+		rt.releaseCore(t)
+		return
+	}
+	now := rt.Eng.Now()
+	doneRes := opResult{ready: true, ok: true}
+	if idx >= 0 {
+		doneRes.idx = idx
+	}
+	if r := c.popRecv(); r != nil {
+		_, transit := rt.M.MsgCost(t.core, r.t.core, bytes)
+		arrival := now + transit
+		rt.traceMsg(c, t.core, r.t.core, arrival)
+		rt.deliverToReceiver(r, v, arrival)
+		if c.capacity == 0 {
+			// Rendezvous: the sender resumes when the receiver has the
+			// value.
+			rt.stats.Rendezvous++
+			t.state = tBlocked
+			rt.releaseCore(t)
+			rt.Eng.At(arrival, func() { rt.wakeWith(t, doneRes) })
+		} else {
+			rt.resumeInPlace(t, doneRes)
+		}
+		return
+	}
+	if c.capacity > 0 && len(c.buf)+c.inflight < c.capacity {
+		// Fire and forget: the value travels to the channel's buffer.
+		c.inflight++
+		from := t.core
+		rt.Eng.At(now+rt.M.P.InjectCycles, func() {
+			c.inflight--
+			c.buf = append(c.buf, bufEntry{val: v, from: from})
+			if r := c.popRecv(); r != nil {
+				e := c.buf[0]
+				c.buf = c.buf[1:]
+				_, transit := rt.M.MsgCost(e.from, r.t.core, bytes)
+				rt.deliverToReceiver(r, e.val, rt.Eng.Now()+transit)
+			}
+		})
+		rt.resumeInPlace(t, doneRes)
+		return
+	}
+	// Block: rendezvous with no receiver, or buffer full.
+	w := &waiter{t: t, val: v, from: t.core}
+	if idx >= 0 {
+		// A picked choice send that raced to non-ready: register as a
+		// resolved-choice waiter so completion carries the index.
+		w.idx = idx
+		w.choice = &choiceRec{}
+	}
+	c.sendq = append(c.sendq, w)
+	t.waits = append(t.waits, w)
+	t.state = tBlocked
+	rt.releaseCore(t)
+}
+
+// opRecv processes a receive (or try-receive) op for thread t.
+func (rt *Runtime) opRecv(t *Thread, o op) {
+	c := o.ch
+	now := rt.Eng.Now()
+
+	if o.try && !c.recvReady() {
+		_, end := rt.M.Core(t.core).Reserve(now, rt.Cfg.PollCost)
+		rt.Eng.At(end, func() { rt.resumeInPlace(t, opResult{ready: false}) })
+		return
+	}
+
+	_, end := rt.M.Core(t.core).Reserve(now, rt.M.P.MsgRecvCost)
+	rt.Eng.At(end, func() { rt.finishRecvIdx(t, c, -1) })
+}
+
+// finishRecvIdx completes a receive once the receiver has paid its local
+// dequeue cost. idx >= 0 marks a receive executed as a choice case.
+func (rt *Runtime) finishRecvIdx(t *Thread, c *Chan, idx int) {
+	if t.state == tDead {
+		rt.releaseCore(t)
+		return
+	}
+	now := rt.Eng.Now()
+	rt.stats.Recvs++
+	c.Recvs++
+	rt.M.Core(t.core).MsgsRecvd++
+	withIdx := func(r opResult) opResult {
+		if idx >= 0 {
+			r.idx = idx
+		}
+		return r
+	}
+
+	if len(c.buf) > 0 {
+		e := c.buf[0]
+		c.buf = c.buf[1:]
+		bytes := rt.msgBytes(e.val)
+		_, transit := rt.M.MsgCost(e.from, t.core, bytes)
+		// Freeing buffer space may unblock a parked sender.
+		if s := c.popSend(); s != nil {
+			rt.promoteSender(c, s, now)
+		}
+		t.received++
+		t.state = tBlocked
+		rt.releaseCore(t)
+		rt.traceMsg(c, e.from, t.core, now+transit)
+		res := withIdx(opResult{val: e.val, ok: true, ready: true})
+		rt.Eng.At(now+transit, func() { rt.wakeWith(t, res) })
+		return
+	}
+	if s := c.popSend(); s != nil {
+		if s.t == nil {
+			// Injected value.
+			bytes := rt.msgBytes(s.val)
+			_, transit := rt.M.MsgCost(s.from, t.core, bytes)
+			t.received++
+			t.state = tBlocked
+			rt.releaseCore(t)
+			res := withIdx(opResult{val: s.val, ok: true, ready: true})
+			rt.Eng.At(now+transit, func() { rt.wakeWith(t, res) })
+			return
+		}
+		// Rendezvous with a blocked sender (or a choice send case).
+		bytes := rt.msgBytes(s.val)
+		_, transit := rt.M.MsgCost(s.t.core, t.core, bytes)
+		arrival := now + transit
+		rt.traceMsg(c, s.t.core, t.core, arrival)
+		rt.stats.Rendezvous++
+		v := s.val
+		sender := s.t
+		sRes := opResult{ready: true, ok: true}
+		if s.choice != nil {
+			sRes.idx = s.idx
+		}
+		rt.Eng.At(arrival, func() { rt.wakeWith(sender, sRes) })
+		t.received++
+		t.state = tBlocked
+		rt.releaseCore(t)
+		res := withIdx(opResult{val: v, ok: true, ready: true})
+		rt.Eng.At(arrival, func() { rt.wakeWith(t, res) })
+		return
+	}
+	if c.closed {
+		rt.resumeInPlace(t, withIdx(opResult{ok: false, ready: true}))
+		return
+	}
+	// Block.
+	w := &waiter{t: t}
+	if idx >= 0 {
+		w.idx = idx
+		w.choice = &choiceRec{}
+	}
+	c.recvq = append(c.recvq, w)
+	t.waits = append(t.waits, w)
+	t.state = tBlocked
+	rt.releaseCore(t)
+}
+
+// promoteSender completes a previously blocked sender whose value can now
+// enter the channel buffer.
+func (rt *Runtime) promoteSender(c *Chan, s *waiter, now uint64) {
+	if s.t == nil {
+		c.buf = append(c.buf, bufEntry{val: s.val, from: s.from})
+		return
+	}
+	c.buf = append(c.buf, bufEntry{val: s.val, from: s.t.core})
+	sender := s.t
+	res := opResult{ready: true, ok: true}
+	if s.choice != nil {
+		res.idx = s.idx
+	}
+	rt.Eng.At(now, func() { rt.wakeWith(sender, res) })
+}
+
+// Call implements the paper's RPC idiom: "c <- (a, b, c1); r <- c1" — send
+// the argument with a fresh reply channel, then receive the reply.
+func (t *Thread) Call(svc *Chan, arg Msg) (Msg, bool) {
+	reply := t.NewChan(svc.name+".reply", 1)
+	svc.Send(t, Call{Arg: arg, Reply: reply})
+	return reply.Recv(t)
+}
+
+// Call is the standard request envelope used by Thread.Call and the
+// kernel's service protocol.
+type Call struct {
+	Arg   Msg
+	Reply *Chan
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+// Property: a channel delivers one producer's values in FIFO order and
+// exactly once, for any capacity and consumer count.
+func TestChannelFIFOExactlyOnceProperty(t *testing.T) {
+	f := func(seed uint64, capRaw, consRaw, nRaw uint8) bool {
+		capacity := int(capRaw % 8) // 0..7, includes rendezvous
+		consumers := int(consRaw%3) + 1
+		n := int(nRaw%40) + consumers // at least one value per consumer
+
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(4))
+		rt := NewRuntime(m, Config{Seed: seed | 1})
+		defer rt.Shutdown()
+
+		ch := rt.NewChan("p", capacity)
+		received := make([][]int, consumers)
+		for c := 0; c < consumers; c++ {
+			c := c
+			rt.Boot("consumer", func(th *Thread) {
+				for {
+					v, ok := ch.Recv(th)
+					if !ok {
+						return
+					}
+					received[c] = append(received[c], v.(int))
+					th.Compute(uint64(1 + (c+1)*37%200))
+				}
+			})
+		}
+		rt.Boot("producer", func(th *Thread) {
+			for i := 0; i < n; i++ {
+				ch.Send(th, i)
+			}
+			ch.Close(th)
+		})
+		rt.Run()
+
+		// Exactly once: union of consumers = {0..n-1}, no duplicates.
+		seen := make([]bool, n)
+		total := 0
+		for _, r := range received {
+			// Per-consumer order must be ascending (FIFO from one
+			// producer).
+			for i := 1; i < len(r); i++ {
+				if r[i] <= r[i-1] {
+					return false
+				}
+			}
+			for _, v := range r {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any mix of senders, every sent value is received exactly
+// once when the receiver drains until close.
+func TestChannelManySendersProperty(t *testing.T) {
+	f := func(seed uint64, sendersRaw, perRaw uint8) bool {
+		senders := int(sendersRaw%4) + 1
+		per := int(perRaw%20) + 1
+
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(8))
+		rt := NewRuntime(m, Config{Seed: seed | 1})
+		defer rt.Shutdown()
+
+		ch := rt.NewChan("m", 3)
+		doneSend := rt.NewChan("ds", senders)
+		for s := 0; s < senders; s++ {
+			s := s
+			rt.Boot("sender", func(th *Thread) {
+				for i := 0; i < per; i++ {
+					ch.Send(th, s*1000+i)
+					th.Compute(uint64(10 + s*13))
+				}
+				doneSend.Send(th, 1)
+			})
+		}
+		rt.Boot("closer", func(th *Thread) {
+			for s := 0; s < senders; s++ {
+				doneSend.Recv(th)
+			}
+			ch.Close(th)
+		})
+		counts := make(map[int]int)
+		rt.Boot("receiver", func(th *Thread) {
+			for {
+				v, ok := ch.Recv(th)
+				if !ok {
+					return
+				}
+				counts[v.(int)]++
+			}
+		})
+		rt.Run()
+
+		if len(counts) != senders*per {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual time never decreases across an arbitrary interleaved
+// program, and total busy cycles never exceed cores * elapsed.
+func TestTimeConservationProperty(t *testing.T) {
+	f := func(seed uint64, threadsRaw uint8) bool {
+		threads := int(threadsRaw%6) + 1
+		cores := 4
+
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(cores))
+		rt := NewRuntime(m, Config{Seed: seed | 1})
+		defer rt.Shutdown()
+
+		rng := sim.NewRNG(seed | 1)
+		ch := rt.NewChan("x", 1)
+		for i := 0; i < threads; i++ {
+			amt := uint64(rng.Intn(5000) + 1)
+			spin := rng.Intn(3) + 1
+			rt.Boot("w", func(th *Thread) {
+				for j := 0; j < spin; j++ {
+					th.Compute(amt)
+					if !ch.TrySend(th, j) {
+						ch.TryRecv(th)
+					}
+				}
+			})
+		}
+		rt.Run()
+
+		elapsed := eng.Now()
+		var busy uint64
+		for c := 0; c < cores; c++ {
+			busy += m.Core(c).BusyCycles
+		}
+		return busy <= uint64(cores)*elapsed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeepCopyIsolatesNestedStructures(t *testing.T) {
+	type inner struct {
+		Vals []int
+	}
+	type outer struct {
+		Name string
+		In   *inner
+		M    map[string][]int
+	}
+	orig := outer{
+		Name: "x",
+		In:   &inner{Vals: []int{1, 2, 3}},
+		M:    map[string][]int{"k": {4, 5}},
+	}
+	cp := deepCopy(orig).(outer)
+	orig.In.Vals[0] = 99
+	orig.M["k"][0] = 99
+	if cp.In.Vals[0] != 1 {
+		t.Fatal("nested pointer slice shared after deep copy")
+	}
+	if cp.M["k"][0] != 4 {
+		t.Fatal("map value shared after deep copy")
+	}
+	if cp.Name != "x" {
+		t.Fatal("scalar lost")
+	}
+}
+
+func TestDeepCopyNilAndScalars(t *testing.T) {
+	if deepCopy(nil) != nil {
+		t.Fatal("nil copy")
+	}
+	if deepCopy(42) != 42 {
+		t.Fatal("int copy")
+	}
+	if deepCopy("s") != "s" {
+		t.Fatal("string copy")
+	}
+}
+
+func TestDeepCopyChannelsPassByReference(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("cap", 1)
+	type envelope struct {
+		Reply *Chan
+	}
+	cp := deepCopy(envelope{Reply: ch}).(envelope)
+	if cp.Reply != ch {
+		t.Fatal("channel was copied; channels are capabilities")
+	}
+	if deepCopy(ch) != ch {
+		t.Fatal("bare channel was copied")
+	}
+}
+
+type customCopy struct {
+	data []int
+	hits *int
+}
+
+func (c customCopy) CopyMsg() Msg {
+	*c.hits++
+	return customCopy{data: append([]int(nil), c.data...), hits: c.hits}
+}
+
+func TestDeepCopyHonoursCopier(t *testing.T) {
+	hits := 0
+	orig := customCopy{data: []int{1}, hits: &hits}
+	cp := deepCopy(orig).(customCopy)
+	if hits != 1 {
+		t.Fatalf("Copier not used (hits=%d)", hits)
+	}
+	orig.data[0] = 9
+	if cp.data[0] != 1 {
+		t.Fatal("Copier copy shared backing array")
+	}
+}
+
+type sizedMsg struct{ n int }
+
+func (s sizedMsg) MsgBytes() int { return s.n }
+
+func TestMsgBytesSources(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	if got := rt.msgBytes(sizedMsg{n: 777}); got != 777 {
+		t.Fatalf("Sized override ignored: %d", got)
+	}
+	if got := rt.msgBytes("hello"); got != 21 {
+		t.Fatalf("string size = %d, want 21", got)
+	}
+	if got := rt.msgBytes([]byte{1, 2, 3}); got != 27 {
+		t.Fatalf("bytes size = %d, want 27", got)
+	}
+	if got := rt.msgBytes(nil); got != 8 {
+		t.Fatalf("nil size = %d", got)
+	}
+	if got := rt.msgBytes(3.14); got != 8 {
+		t.Fatalf("float size = %d", got)
+	}
+}
+
+// Property: deep-copied integer slices are equal in content and disjoint
+// in storage.
+func TestDeepCopySliceProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		cp := deepCopy(xs)
+		if xs == nil {
+			return cp.([]int) == nil
+		}
+		ys := cp.([]int)
+		if len(ys) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if ys[i] != xs[i] {
+				return false
+			}
+		}
+		if len(xs) > 0 {
+			old := xs[0]
+			xs[0] = old + 1
+			same := ys[0] == old
+			xs[0] = old
+			return same
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: msgBytes grows monotonically with byte-slice length.
+func TestMsgBytesMonotonicProperty(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	f := func(aLen, bLen uint8) bool {
+		a := make([]byte, aLen)
+		b := make([]byte, bLen)
+		sa, sb := rt.msgBytes(a), rt.msgBytes(b)
+		if aLen <= bLen {
+			return sa <= sb
+		}
+		return sa >= sb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

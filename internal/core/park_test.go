@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+func TestParkUnpark(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	var parkee *Thread
+	var resumedAt uint64
+	rt.Boot("main", func(th *Thread) {
+		parkee = th.Spawn("parkee", func(th2 *Thread) {
+			th2.Park()
+			resumedAt = th2.Now()
+		})
+		th.Sleep(5000)
+		th.Unpark(parkee)
+	})
+	rt.Run()
+	if resumedAt < 5000 {
+		t.Fatalf("parkee resumed at %d, before unpark", resumedAt)
+	}
+}
+
+func TestUnparkBeforeParkBanksPermit(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ran := false
+	rt.Boot("main", func(th *Thread) {
+		late := th.Spawn("late", func(th2 *Thread) {
+			th2.Sleep(5000)
+			th2.Park() // permit already banked: returns immediately
+			ran = true
+		})
+		th.Unpark(late)
+	})
+	rt.Run()
+	if !ran {
+		t.Fatal("banked permit did not satisfy Park")
+	}
+}
+
+func TestUnparkDeadThreadIsNoop(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ok := false
+	rt.Boot("main", func(th *Thread) {
+		d := th.Spawn("dead", func(th2 *Thread) {})
+		th.Sleep(1000)
+		th.Unpark(d)
+		ok = true
+	})
+	rt.Run()
+	if !ok {
+		t.Fatal("unpark of dead thread blocked or faulted")
+	}
+}
+
+func TestKillParkedThread(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	var victim *Thread
+	rt.Boot("main", func(th *Thread) {
+		victim = th.Spawn("parked", func(th2 *Thread) { th2.Park() })
+		th.Sleep(1000)
+		th.Kill(victim)
+	})
+	rt.Run()
+	if !victim.Dead() {
+		t.Fatal("parked thread survived kill")
+	}
+}

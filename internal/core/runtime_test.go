@@ -1,0 +1,833 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+// newRT builds a runtime over a fresh machine for tests.
+func newRT(t *testing.T, cores int, cfg Config) *Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := NewRuntime(m, cfg)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestSpawnAndCompute(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	done := false
+	var when sim.Time
+	rt.Boot("worker", func(th *Thread) {
+		th.Compute(1000)
+		when = th.Now()
+		done = true
+	})
+	rt.Run()
+	if !done {
+		t.Fatal("thread did not run")
+	}
+	if when < 1000 {
+		t.Fatalf("compute finished at %d, want >= 1000", when)
+	}
+	if got := rt.Stats().Exits; got != 1 {
+		t.Fatalf("exits = %d, want 1", got)
+	}
+}
+
+func TestComputeAccumulatesOnCore(t *testing.T) {
+	rt := newRT(t, 1, Config{})
+	rt.Boot("w", func(th *Thread) {
+		th.Compute(100)
+		th.Compute(200)
+	})
+	rt.Run()
+	if busy := rt.M.Core(0).BusyCycles; busy < 300 {
+		t.Fatalf("core busy %d cycles, want >= 300", busy)
+	}
+}
+
+func TestRendezvousSendThenRecv(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	ch := rt.NewChan("ch", 0)
+	var got Msg
+	var sendDone, recvDone sim.Time
+	rt.Boot("sender", func(th *Thread) {
+		ch.Send(th, 42)
+		sendDone = th.Now()
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(5000) // ensure sender blocks first
+		v, ok := ch.Recv(th)
+		if !ok {
+			t.Error("recv not ok")
+		}
+		got = v
+		recvDone = th.Now()
+	})
+	rt.Run()
+	if got != 42 {
+		t.Fatalf("received %v, want 42", got)
+	}
+	if sendDone < 5000 {
+		t.Fatalf("blocking send completed at %d, before receiver arrived", sendDone)
+	}
+	if recvDone == 0 {
+		t.Fatal("receiver never finished")
+	}
+	if rt.Stats().Rendezvous != 1 {
+		t.Fatalf("rendezvous count = %d, want 1", rt.Stats().Rendezvous)
+	}
+}
+
+func TestRendezvousRecvThenSend(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	ch := rt.NewChan("ch", 0)
+	var got Msg
+	rt.Boot("receiver", func(th *Thread) {
+		v, _ := ch.Recv(th)
+		got = v
+	})
+	rt.Boot("sender", func(th *Thread) {
+		th.Sleep(5000)
+		ch.Send(th, "hello")
+	})
+	rt.Run()
+	if got != "hello" {
+		t.Fatalf("received %v, want hello", got)
+	}
+}
+
+func TestBufferedSendDoesNotBlock(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("buf", 8)
+	var sendDone sim.Time
+	var received []int
+	rt.Boot("sender", func(th *Thread) {
+		for i := 0; i < 4; i++ {
+			ch.Send(th, i)
+		}
+		sendDone = th.Now()
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(100000)
+		for i := 0; i < 4; i++ {
+			v, _ := ch.Recv(th)
+			received = append(received, v.(int))
+		}
+	})
+	rt.Run()
+	if sendDone >= 100000 {
+		t.Fatalf("buffered sends blocked until receiver: done at %d", sendDone)
+	}
+	for i, v := range received {
+		if v != i {
+			t.Fatalf("FIFO violated: received %v", received)
+		}
+	}
+}
+
+func TestBufferedSendBlocksWhenFull(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("buf", 2)
+	var sendTimes []sim.Time
+	rt.Boot("sender", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			ch.Send(th, i)
+			sendTimes = append(sendTimes, th.Now())
+		}
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(50000)
+		for i := 0; i < 3; i++ {
+			ch.Recv(th)
+		}
+	})
+	rt.Run()
+	if len(sendTimes) != 3 {
+		t.Fatalf("only %d sends completed", len(sendTimes))
+	}
+	if sendTimes[1] >= 50000 {
+		t.Fatal("second send should fit in buffer")
+	}
+	if sendTimes[2] < 50000 {
+		t.Fatal("third send should have blocked until a receive freed space")
+	}
+}
+
+func TestTrySendTryRecv(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("ch", 1)
+	var r1, r2 bool
+	var tryRecvEmpty bool
+	rt.Boot("w", func(th *Thread) {
+		_, _, ready := ch.TryRecv(th)
+		tryRecvEmpty = ready
+		r1 = ch.TrySend(th, 1) // fits
+		r2 = ch.TrySend(th, 2) // full (value may be in flight; retry once it lands)
+		th.Sleep(1000)
+		r2 = ch.TrySend(th, 2) // definitely full now
+		v, ok, ready := ch.TryRecv(th)
+		if !ready || !ok || v != 1 {
+			t.Errorf("TryRecv = (%v,%v,%v), want (1,true,true)", v, ok, ready)
+		}
+	})
+	rt.Run()
+	if tryRecvEmpty {
+		t.Error("TryRecv on empty channel reported ready")
+	}
+	if !r1 {
+		t.Error("TrySend into empty buffer failed")
+	}
+	if r2 {
+		t.Error("TrySend into full buffer succeeded")
+	}
+}
+
+func TestCloseDrainsThenReportsClosed(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("ch", 4)
+	var vals []int
+	var closedOK bool
+	rt.Boot("sender", func(th *Thread) {
+		ch.Send(th, 1)
+		ch.Send(th, 2)
+		th.Sleep(1000) // let values arrive before closing
+		ch.Close(th)
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(10000)
+		for {
+			v, ok := ch.Recv(th)
+			if !ok {
+				closedOK = true
+				return
+			}
+			vals = append(vals, v.(int))
+		}
+	})
+	rt.Run()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("drained %v, want [1 2]", vals)
+	}
+	if !closedOK {
+		t.Fatal("receiver never saw closed")
+	}
+}
+
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("ch", 0)
+	sawClose := false
+	rt.Boot("receiver", func(th *Thread) {
+		_, ok := ch.Recv(th)
+		sawClose = !ok
+	})
+	rt.Boot("closer", func(th *Thread) {
+		th.Sleep(1000)
+		ch.Close(th)
+	})
+	rt.Run()
+	if !sawClose {
+		t.Fatal("blocked receiver not woken by close")
+	}
+}
+
+func TestSendOnClosedFaultsThread(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("ch", 1)
+	var sender *Thread
+	reached := false
+	rt.Boot("main", func(th *Thread) {
+		ch.Close(th)
+		sender = th.Spawn("sender", func(th2 *Thread) {
+			ch.Send(th2, 1)
+			reached = true
+		})
+	})
+	rt.Run()
+	if reached {
+		t.Fatal("send on closed channel returned normally")
+	}
+	if sender.ExitReason() == nil || !errors.Is(sender.ExitReason(), ErrSendClosed) {
+		t.Fatalf("exit reason = %v, want ErrSendClosed", sender.ExitReason())
+	}
+}
+
+func TestChannelOverChannel(t *testing.T) {
+	// The paper's plumbing idiom: pass a channel through a channel, then
+	// use it to move data directly.
+	rt := newRT(t, 4, Config{})
+	plumb := rt.NewChan("plumb", 0)
+	var got Msg
+	rt.Boot("server", func(th *Thread) {
+		v, _ := plumb.Recv(th)
+		data := v.(*Chan)
+		got, _ = data.Recv(th)
+	})
+	rt.Boot("client", func(th *Thread) {
+		data := th.NewChan("data", 0)
+		plumb.Send(th, data)
+		data.Send(th, "payload")
+	})
+	rt.Run()
+	if got != "payload" {
+		t.Fatalf("got %v, want payload", got)
+	}
+}
+
+func TestCallRPCIdiom(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	svc := rt.NewChan("svc", 4)
+	rt.Boot("server", func(th *Thread) {
+		for {
+			v, ok := svc.Recv(th)
+			if !ok {
+				return
+			}
+			call := v.(Call)
+			th.Compute(100)
+			call.Reply.Send(th, call.Arg.(int)*2)
+		}
+	})
+	var results []int
+	rt.Boot("client", func(th *Thread) {
+		for i := 1; i <= 3; i++ {
+			v, ok := th.Call(svc, i)
+			if !ok {
+				t.Error("call failed")
+				return
+			}
+			results = append(results, v.(int))
+		}
+		svc.Close(th)
+	})
+	rt.Run()
+	if len(results) != 3 || results[0] != 2 || results[1] != 4 || results[2] != 6 {
+		t.Fatalf("results = %v, want [2 4 6]", results)
+	}
+}
+
+func TestChoosepicksReadyCase(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	a := rt.NewChan("a", 1)
+	b := rt.NewChan("b", 1)
+	var idx int
+	var val Msg
+	rt.Boot("main", func(th *Thread) {
+		b.Send(th, "bee")
+		th.Sleep(1000)
+		idx, val, _ = th.Choose(
+			Case{Ch: a, Dir: RecvDir},
+			Case{Ch: b, Dir: RecvDir},
+		)
+	})
+	rt.Run()
+	if idx != 1 || val != "bee" {
+		t.Fatalf("choose = (%d, %v), want (1, bee)", idx, val)
+	}
+}
+
+func TestChooseBlocksUntilReady(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	a := rt.NewChan("a", 0)
+	b := rt.NewChan("b", 0)
+	var idx int
+	var when sim.Time
+	rt.Boot("chooser", func(th *Thread) {
+		idx, _, _ = th.Choose(
+			Case{Ch: a, Dir: RecvDir},
+			Case{Ch: b, Dir: RecvDir},
+		)
+		when = th.Now()
+	})
+	rt.Boot("sender", func(th *Thread) {
+		th.Sleep(10000)
+		b.Send(th, 7)
+	})
+	rt.Run()
+	if idx != 1 {
+		t.Fatalf("choose idx = %d, want 1", idx)
+	}
+	if when < 10000 {
+		t.Fatalf("choose completed at %d, before sender", when)
+	}
+}
+
+func TestChooseDefault(t *testing.T) {
+	rt := newRT(t, 1, Config{})
+	a := rt.NewChan("a", 0)
+	var idx int
+	rt.Boot("main", func(th *Thread) {
+		idx, _, _ = th.ChooseDefault(Case{Ch: a, Dir: RecvDir})
+	})
+	rt.Run()
+	if idx != -1 {
+		t.Fatalf("ChooseDefault on empty = %d, want -1", idx)
+	}
+}
+
+func TestChooseSendCase(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	out := rt.NewChan("out", 0)
+	var got Msg
+	var idx int
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(1000)
+		got, _ = out.Recv(th)
+	})
+	rt.Boot("chooser", func(th *Thread) {
+		idx, _, _ = th.Choose(Case{Ch: out, Dir: SendDir, Val: 99})
+	})
+	rt.Run()
+	if got != 99 {
+		t.Fatalf("receiver got %v, want 99", got)
+	}
+	if idx != 0 {
+		t.Fatalf("choose idx = %d, want 0", idx)
+	}
+}
+
+func TestChooseSendAndRecvMixed(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	in := rt.NewChan("in", 0)
+	out := rt.NewChan("out", 0)
+	var idx int
+	rt.Boot("peer", func(th *Thread) {
+		th.Sleep(1000)
+		in.Send(th, 5) // makes the recv case ready first
+	})
+	rt.Boot("chooser", func(th *Thread) {
+		idx, _, _ = th.Choose(
+			Case{Ch: out, Dir: SendDir, Val: 1},
+			Case{Ch: in, Dir: RecvDir},
+		)
+	})
+	rt.Run()
+	if idx != 1 {
+		t.Fatalf("choose picked %d, want 1 (recv)", idx)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("never", 0)
+	var timedOut bool
+	var when sim.Time
+	rt.Boot("main", func(th *Thread) {
+		_, _, timedOut = th.RecvTimeout(ch, 5000)
+		when = th.Now()
+	})
+	rt.Run()
+	if !timedOut {
+		t.Fatal("RecvTimeout did not time out")
+	}
+	if when < 5000 {
+		t.Fatalf("timed out at %d, before deadline", when)
+	}
+}
+
+func TestChoosePollImplementation(t *testing.T) {
+	rt := newRT(t, 2, Config{Choose: ChoosePoll, PollInterval: 100})
+	a := rt.NewChan("a", 0)
+	var idx int
+	rt.Boot("chooser", func(th *Thread) {
+		idx, _, _ = th.Choose(Case{Ch: a, Dir: RecvDir})
+	})
+	rt.Boot("sender", func(th *Thread) {
+		th.Sleep(2000)
+		a.Send(th, 1)
+	})
+	rt.Run()
+	if idx != 0 {
+		t.Fatalf("poll choose idx = %d", idx)
+	}
+	if rt.Stats().ChoosePolls == 0 {
+		t.Fatal("poll implementation recorded no polls")
+	}
+}
+
+func TestSpawnFromThread(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	var childCore int
+	rt.Boot("parent", func(th *Thread) {
+		child := th.Spawn("child", func(th2 *Thread) {
+			th2.Compute(10)
+		})
+		childCore = child.Core()
+	})
+	rt.Run()
+	if childCore < 0 || childCore >= 4 {
+		t.Fatalf("child placed on invalid core %d", childCore)
+	}
+	if rt.Stats().Spawns != 2 {
+		t.Fatalf("spawns = %d, want 2", rt.Stats().Spawns)
+	}
+}
+
+func TestOnCorePlacement(t *testing.T) {
+	rt := newRT(t, 8, Config{})
+	var got int
+	rt.Boot("t", func(th *Thread) { got = th.Core() }, OnCore(5))
+	rt.Run()
+	if got != 5 {
+		t.Fatalf("OnCore(5) placed on %d", got)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	var before, after int
+	rt.Boot("t", func(th *Thread) {
+		before = th.Core()
+		th.Migrate((before + 1) % 4)
+		after = th.Core()
+	}, OnCore(0))
+	rt.Run()
+	if before != 0 || after != 1 {
+		t.Fatalf("migrate: before=%d after=%d", before, after)
+	}
+}
+
+func TestMonitorNormalAndAbnormalExit(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	notices := rt.NewChan("notices", 8)
+	var got []ExitNotice
+	rt.Boot("watcher", func(th *Thread) {
+		ok := th.Spawn("ok", func(th2 *Thread) {})
+		bad := th.Spawn("bad", func(th2 *Thread) { th2.Fail(errors.New("boom")) })
+		th.Monitor(ok, notices)
+		th.Monitor(bad, notices)
+		for i := 0; i < 2; i++ {
+			v, _ := notices.Recv(th)
+			got = append(got, v.(ExitNotice))
+		}
+	})
+	rt.Run()
+	if len(got) != 2 {
+		t.Fatalf("got %d notices, want 2", len(got))
+	}
+	abnormal := 0
+	for _, n := range got {
+		if n.Abnorm {
+			abnormal++
+			if n.Name != "bad" {
+				t.Fatalf("abnormal notice for %q, want bad", n.Name)
+			}
+		}
+	}
+	if abnormal != 1 {
+		t.Fatalf("%d abnormal notices, want 1", abnormal)
+	}
+}
+
+func TestMonitorAlreadyDead(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	notices := rt.NewChan("notices", 1)
+	var n ExitNotice
+	rt.Boot("main", func(th *Thread) {
+		child := th.Spawn("fast", func(th2 *Thread) {})
+		th.Sleep(10000) // child exits long before we monitor
+		th.Monitor(child, notices)
+		v, _ := notices.Recv(th)
+		n = v.(ExitNotice)
+	})
+	rt.Run()
+	if n.Name != "fast" {
+		t.Fatalf("late monitor notice = %+v", n)
+	}
+}
+
+func TestLinkKillsPeerOnAbnormalExit(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	blocked := rt.NewChan("blocked", 0)
+	var peer *Thread
+	rt.Boot("main", func(th *Thread) {
+		peer = th.Spawn("peer", func(th2 *Thread) {
+			blocked.Recv(th2) // parks forever
+		})
+		crasher := th.Spawn("crasher", func(th2 *Thread) {
+			th2.Sleep(1000)
+			th2.Fail(errors.New("died"))
+		})
+		th.Sleep(100)
+		peer.Link(crasher)
+	})
+	rt.Run()
+	if !peer.Dead() {
+		t.Fatal("linked peer survived abnormal exit")
+	}
+	if !errors.Is(peer.ExitReason(), ErrLinkedExit) {
+		t.Fatalf("peer exit reason = %v", peer.ExitReason())
+	}
+}
+
+func TestLinkNormalExitDoesNotKill(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	survived := false
+	rt.Boot("main", func(th *Thread) {
+		quiet := th.Spawn("quiet", func(th2 *Thread) {
+			th2.Sleep(5000)
+			survived = true
+		})
+		normal := th.Spawn("normal", func(th2 *Thread) {})
+		quiet.Link(normal)
+	})
+	rt.Run()
+	if !survived {
+		t.Fatal("peer killed by a normal exit")
+	}
+}
+
+func TestTrapExitsConvertsKillToMessage(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	exits := rt.NewChan("exits", 4)
+	var notice ExitNotice
+	rt.Boot("supervisor-ish", func(th *Thread) {
+		th.TrapExits(exits)
+		worker := th.Spawn("worker", func(th2 *Thread) {
+			th2.Sleep(1000)
+			th2.Fail(errors.New("crash"))
+		})
+		th.Link(worker)
+		v, _ := exits.Recv(th)
+		notice = v.(ExitNotice)
+	})
+	rt.Run()
+	if notice.Name != "worker" || !notice.Abnorm {
+		t.Fatalf("trap-exit notice = %+v", notice)
+	}
+}
+
+func TestKill(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	hang := rt.NewChan("hang", 0)
+	var victim *Thread
+	rt.Boot("main", func(th *Thread) {
+		victim = th.Spawn("victim", func(th2 *Thread) {
+			hang.Recv(th2)
+		})
+		th.Sleep(1000)
+		th.Kill(victim)
+	})
+	rt.Run()
+	if !victim.Dead() || !errors.Is(victim.ExitReason(), ErrKilled) {
+		t.Fatalf("victim dead=%v reason=%v", victim.Dead(), victim.ExitReason())
+	}
+}
+
+func TestKillMidCompute(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	var victim *Thread
+	finished := false
+	rt.Boot("main", func(th *Thread) {
+		victim = th.Spawn("victim", func(th2 *Thread) {
+			th2.Compute(1_000_000)
+			finished = true
+		})
+		th.Sleep(1000)
+		th.Kill(victim)
+	})
+	rt.Run()
+	if finished {
+		t.Fatal("victim finished compute after kill")
+	}
+	if !victim.Dead() {
+		t.Fatal("victim survived kill")
+	}
+}
+
+func TestPanicBecomesAbnormalExit(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	var child *Thread
+	rt.Boot("main", func(th *Thread) {
+		child = th.Spawn("panicky", func(th2 *Thread) {
+			panic("unexpected")
+		})
+	})
+	rt.Run()
+	var pe PanicError
+	if !errors.As(child.ExitReason(), &pe) || pe.Value != "unexpected" {
+		t.Fatalf("exit reason = %v", child.ExitReason())
+	}
+}
+
+func TestExitIsNormal(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	var child *Thread
+	rt.Boot("main", func(th *Thread) {
+		child = th.Spawn("exiter", func(th2 *Thread) {
+			th2.Exit()
+			t.Error("code after Exit ran")
+		})
+	})
+	rt.Run()
+	if child.ExitReason() != nil {
+		t.Fatalf("Exit() reason = %v, want nil", child.ExitReason())
+	}
+}
+
+func TestBlockedReportsDeadlockedThreads(t *testing.T) {
+	rt := newRT(t, 2, Config{})
+	ch := rt.NewChan("never", 0)
+	rt.Boot("stuck", func(th *Thread) { ch.Recv(th) })
+	rt.Run()
+	b := rt.Blocked()
+	if len(b) != 1 || b[0] != "stuck" {
+		t.Fatalf("Blocked() = %v", b)
+	}
+}
+
+func TestStrictModeCopiesPayloads(t *testing.T) {
+	rt := newRT(t, 2, Config{Strict: true})
+	ch := rt.NewChan("ch", 1)
+	original := []int{1, 2, 3}
+	var received []int
+	rt.Boot("sender", func(th *Thread) {
+		ch.Send(th, original)
+		original[0] = 999 // mutation after send must not be visible
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(10000)
+		v, _ := ch.Recv(th)
+		received = v.([]int)
+	})
+	rt.Run()
+	if received[0] != 1 {
+		t.Fatalf("strict mode leaked mutation: %v", received)
+	}
+	if rt.Stats().BytesCopied == 0 {
+		t.Fatal("no copy bytes recorded in strict mode")
+	}
+}
+
+func TestNonStrictSharesPayloads(t *testing.T) {
+	rt := newRT(t, 2, Config{Strict: false})
+	ch := rt.NewChan("ch", 1)
+	original := []int{1, 2, 3}
+	var received []int
+	rt.Boot("sender", func(th *Thread) {
+		ch.Send(th, original)
+		original[0] = 999
+	})
+	rt.Boot("receiver", func(th *Thread) {
+		th.Sleep(10000)
+		v, _ := ch.Recv(th)
+		received = v.([]int)
+	})
+	rt.Run()
+	if received[0] != 999 {
+		t.Fatal("non-strict mode should share the slice")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(8))
+		rt := NewRuntime(m, Config{Seed: 99})
+		defer rt.Shutdown()
+		svc := rt.NewChan("svc", 16)
+		for i := 0; i < 4; i++ {
+			rt.Boot("server", func(th *Thread) {
+				for {
+					v, ok := svc.Recv(th)
+					if !ok {
+						return
+					}
+					th.Compute(200)
+					v.(Call).Reply.Send(th, 1)
+				}
+			})
+		}
+		boss := rt.NewChan("done", 8)
+		for i := 0; i < 8; i++ {
+			rt.Boot("client", func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					th.Call(svc, j)
+				}
+				boss.Send(th, 1)
+			})
+		}
+		rt.Boot("main", func(th *Thread) {
+			for i := 0; i < 8; i++ {
+				boss.Recv(th)
+			}
+			svc.Close(th)
+		})
+		rt.Run()
+		return eng.Now(), rt.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("nondeterministic end time: %d vs %d", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("nondeterministic stats:\n%+v\n%+v", s1, s2)
+	}
+}
+
+func TestManyThreadsManyMessages(t *testing.T) {
+	rt := newRT(t, 16, Config{})
+	const n = 200
+	sink := rt.NewChan("sink", n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.Boot("w", func(th *Thread) {
+			th.Compute(uint64(10 + i%7))
+			sink.Send(th, i)
+		})
+	}
+	sum := 0
+	rt.Boot("collector", func(th *Thread) {
+		for i := 0; i < n; i++ {
+			v, _ := sink.Recv(th)
+			sum += v.(int)
+		}
+	})
+	rt.Run()
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestYieldSharesCore(t *testing.T) {
+	rt := newRT(t, 1, Config{})
+	var order []string
+	rt.Boot("a", func(th *Thread) {
+		order = append(order, "a1")
+		th.Yield()
+		order = append(order, "a2")
+	})
+	rt.Boot("b", func(th *Thread) {
+		order = append(order, "b1")
+	})
+	rt.Run()
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "a1" || order[1] != "b1" || order[2] != "a2" {
+		t.Fatalf("yield did not rotate run queue: %v", order)
+	}
+}
+
+func TestShutdownKillsEverything(t *testing.T) {
+	rt := newRT(t, 4, Config{})
+	ch := rt.NewChan("hang", 0)
+	for i := 0; i < 10; i++ {
+		rt.Boot("stuck", func(th *Thread) { ch.Recv(th) })
+	}
+	rt.Run()
+	if rt.Alive() != 10 {
+		t.Fatalf("alive = %d, want 10", rt.Alive())
+	}
+	rt.Shutdown()
+	if rt.Alive() != 0 {
+		t.Fatalf("alive after shutdown = %d", rt.Alive())
+	}
+}

@@ -1,0 +1,176 @@
+package event
+
+import (
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func newRT(t *testing.T, cores int) *core.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 23})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestBusSubscribeAndPublishAsync(t *testing.T) {
+	rt := newRT(t, 4)
+	b := NewBus(rt)
+	ch := rt.NewChan("thermal-sub", 8)
+	b.Subscribe(Thermal, ch)
+	var got []Event
+	rt.Boot("daemon", func(th *core.Thread) {
+		for i := 0; i < 3; i++ {
+			v, ok := ch.Recv(th)
+			if !ok {
+				return
+			}
+			got = append(got, v.(Event))
+		}
+	})
+	// Hardware-origin events at staggered times.
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.Eng.At(uint64(1000*(i+1)), func() {
+			b.PublishAsync(Thermal, 2, i)
+		})
+	}
+	rt.Run()
+	if len(got) != 3 {
+		t.Fatalf("daemon saw %d events", len(got))
+	}
+	for i, ev := range got {
+		if ev.Kind != Thermal || ev.Payload != i {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.Seq == 0 {
+			t.Fatal("event missing sequence number")
+		}
+	}
+}
+
+func TestBusMultipleSubscribers(t *testing.T) {
+	rt := newRT(t, 4)
+	b := NewBus(rt)
+	a := rt.NewChan("a", 4)
+	c := rt.NewChan("c", 4)
+	b.Subscribe(HotPlug, a)
+	b.Subscribe(HotPlug, c)
+	gotA, gotC := 0, 0
+	rt.Boot("subA", func(th *core.Thread) {
+		for {
+			_, ok := a.Recv(th)
+			if !ok {
+				return
+			}
+			gotA++
+		}
+	})
+	rt.Boot("subC", func(th *core.Thread) {
+		for {
+			_, ok := c.Recv(th)
+			if !ok {
+				return
+			}
+			gotC++
+		}
+	})
+	rt.Eng.At(100, func() { b.PublishAsync(HotPlug, 0, "cpu7 online") })
+	rt.Eng.At(5000, func() {
+		rt.CloseAsync(a)
+		rt.CloseAsync(c)
+	})
+	rt.Run()
+	if gotA != 1 || gotC != 1 {
+		t.Fatalf("subscribers saw %d/%d events", gotA, gotC)
+	}
+	if b.Published != 1 || b.Delivered != 2 {
+		t.Fatalf("bus stats: %+v", b)
+	}
+}
+
+func TestPublishFromThreadDropsWhenFull(t *testing.T) {
+	rt := newRT(t, 2)
+	b := NewBus(rt)
+	ch := rt.NewChan("tiny", 1)
+	b.Subscribe(Power, ch)
+	rt.Boot("publisher", func(th *core.Thread) {
+		b.Publish(th, Power, 0, 1)
+		th.Sleep(1000) // first event lands in the buffer
+		b.Publish(th, Power, 0, 2)
+		b.Publish(th, Power, 0, 3) // buffer full: dropped
+	})
+	rt.Run()
+	if b.Dropped == 0 {
+		t.Fatal("no drops recorded on a full subscriber")
+	}
+}
+
+// The E4 mechanism in miniature: a signal-interrupted worker wastes
+// cycles on unwind/redo; a channel worker does not.
+func TestSignalWorkerWastesChannelWorkerDoesNot(t *testing.T) {
+	const ops = 20
+	const opCycles = 10_000
+
+	runSignal := func() CompletionStats {
+		rt := newRT(t, 2)
+		var st CompletionStats
+		sig := rt.NewChan("sig", 64)
+		// Completions arrive mid-operation.
+		for i := 0; i < 10; i++ {
+			rt.Eng.At(uint64(3_000+7_000*i), func() {
+				rt.InjectSend(sig, Event{Kind: IOComplete}, 0)
+			})
+		}
+		rt.Boot("worker", func(th *core.Thread) {
+			SignalWorker(th, sig, ops, opCycles, 1_000, 500, &st)
+		})
+		rt.Run()
+		return st
+	}
+	runChannel := func() CompletionStats {
+		rt := newRT(t, 2)
+		var st CompletionStats
+		ch := rt.NewChan("done", 64)
+		for i := 0; i < 10; i++ {
+			rt.Eng.At(uint64(3_000+7_000*i), func() {
+				rt.InjectSend(ch, Event{Kind: IOComplete}, 0)
+			})
+		}
+		rt.Boot("worker", func(th *core.Thread) {
+			ChannelWorker(th, ch, ops, opCycles, &st)
+		})
+		rt.Run()
+		return st
+	}
+
+	sig := runSignal()
+	chn := runChannel()
+	if sig.OpsCompleted != ops || chn.OpsCompleted != ops {
+		t.Fatalf("ops: signal=%d channel=%d", sig.OpsCompleted, chn.OpsCompleted)
+	}
+	if sig.WastedCycles == 0 {
+		t.Fatal("signal worker recorded no wasted cycles")
+	}
+	if chn.WastedCycles != 0 {
+		t.Fatalf("channel worker wasted %d cycles", chn.WastedCycles)
+	}
+	if sig.RestartedOps == 0 {
+		t.Fatal("signal worker never restarted an op")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Thermal: "thermal", Power: "power", HotPlug: "hotplug",
+		IOComplete: "iocomplete", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %s", k, k.String())
+		}
+	}
+}

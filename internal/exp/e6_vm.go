@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/sim"
+	"chanos/internal/stats"
+	"chanos/internal/vm"
+)
+
+func init() {
+	register("E6", "Figure 4: VM service granularity — the too-many-threads hazard (§5)", e6VMGranularity)
+}
+
+func e6VMGranularity(o Options) []*stats.Table {
+	cores := 32
+	clients := 16
+	addrPages := 8192
+	if o.Quick {
+		addrPages = 2048
+	}
+	touchesPer := addrPages / clients * 2 // revisit half the pages (TLB hits)
+
+	run := func(g vm.Granularity) (float64, int, sim.Time) {
+		w := newWorld(cores, o.seed(), core.Config{})
+		defer w.close()
+		v := vm.New(w.rt, vm.Config{
+			Gran:        g,
+			PhysPages:   addrPages * 2,
+			AddrPages:   addrPages,
+			RegionPages: 256,
+		})
+		done := w.rt.NewChan("done", clients)
+		for i := 0; i < clients; i++ {
+			i := i
+			rng := sim.NewRNG(o.seed() + uint64(i)*31)
+			w.rt.Boot(fmt.Sprintf("app.%d", i), func(t *core.Thread) {
+				tl := vm.NewTLB()
+				base := uint64(i * (addrPages / clients))
+				span := uint64(addrPages / clients)
+				for j := 0; j < touchesPer; j++ {
+					p := base + rng.Uint64n(span)
+					if err := v.Touch(t, tl, p); err != nil {
+						panic(err)
+					}
+				}
+				done.Send(t, 1)
+			}, core.OnCore(i%cores))
+		}
+		w.rt.Boot("join", func(t *core.Thread) {
+			for i := 0; i < clients; i++ {
+				done.Recv(t)
+			}
+			v.Stop(t)
+		})
+		w.rt.Run()
+		elapsed := w.eng.Now()
+		total := uint64(clients * touchesPer)
+		return w.opsPerSec(total, elapsed), v.ServerThreads, elapsed
+	}
+
+	tb := stats.NewTable("E6 / Figure 4: page-touch throughput vs VM service granularity",
+		"granularity", "service threads", "touches/sec", "elapsed (cycles)")
+	for _, g := range []vm.Granularity{vm.LibOS, vm.OneServer, vm.PerRegion, vm.PerPage} {
+		tput, threads, elapsed := run(g)
+		tb.AddRow(g.String(), fmt.Sprint(threads), stats.F(tput), stats.U(elapsed))
+	}
+	tb.Note("claim (§5): 'a thread for every page ... would produce too many threads no matter")
+	tb.Note("how many cores are available' — per-page collapses under spawn and scheduling overhead;")
+	tb.Note("per-region is the workable middle; libOS (aggressive design, §4) is the ceiling")
+	return []*stats.Table{tb}
+}

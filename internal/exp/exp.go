@@ -1,0 +1,140 @@
+// Package exp implements the experiment suite: one function per
+// experiment (E1..E13, ablations A1..A4), each returning printable tables
+// that regenerate the "figures" and "tables" described in EXPERIMENTS.md.
+// The paper being a position paper has no evaluation of its own; every
+// experiment here tests a quantitative claim in its prose (see DESIGN.md
+// §3 for the claim-to-experiment mapping).
+//
+// The same functions back cmd/chanos-bench and the testing.B benchmarks
+// in the repository root, so tables are reproducible from either.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+	"chanos/internal/stats"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	Seed uint64
+	// Quick shrinks sweeps and windows so the whole suite runs in
+	// seconds (used by tests and -quick).
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) []*stats.Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) []*stats.Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, ordered by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// world is one simulated machine + runtime, the unit every experiment
+// variant runs in.
+type world struct {
+	eng *sim.Engine
+	m   *machine.Machine
+	rt  *core.Runtime
+}
+
+// newWorld builds a fresh machine with the default cost model.
+func newWorld(cores int, seed uint64, cfg core.Config) *world {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	cfg.Seed = seed
+	rt := core.NewRuntime(m, cfg)
+	return &world{eng: eng, m: m, rt: rt}
+}
+
+// newWorldParams builds a machine with custom parameters.
+func newWorldParams(p machine.Params, seed uint64, cfg core.Config) *world {
+	eng := sim.NewEngine()
+	m := machine.New(eng, p)
+	cfg.Seed = seed
+	rt := core.NewRuntime(m, cfg)
+	return &world{eng: eng, m: m, rt: rt}
+}
+
+func (w *world) close() { w.rt.Shutdown() }
+
+// opsPerSec converts an op count over a cycle window into simulated
+// operations per second.
+func (w *world) opsPerSec(ops uint64, window sim.Time) float64 {
+	if window == 0 {
+		return 0
+	}
+	return float64(ops) / w.m.Seconds(window)
+}
+
+// closedLoop runs `workers` closed-loop worker threads for `window`
+// virtual cycles and returns the total iterations completed. body runs
+// one iteration; placement pins worker i to a core (nil = scheduler's
+// choice).
+func closedLoop(w *world, workers int, window sim.Time, place func(i int) []core.SpawnOpt,
+	body func(t *core.Thread, i int)) uint64 {
+	counts := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		var opts []core.SpawnOpt
+		if place != nil {
+			opts = place(i)
+		}
+		w.rt.Boot(fmt.Sprintf("worker.%d", i), func(t *core.Thread) {
+			for {
+				body(t, i)
+				counts[i]++
+			}
+		}, opts...)
+	}
+	w.rt.RunFor(window)
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// coresSweep returns the core counts exercised by scaling experiments.
+// The crossover the paper predicts sits in the "hundreds of cores", so
+// even the quick sweep reaches 256.
+func coresSweep(o Options) []int {
+	if o.Quick {
+		return []int{4, 16, 64, 256}
+	}
+	return []int{4, 16, 64, 256, 1024}
+}

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"chanos/internal/baseline"
+	"chanos/internal/sim"
+	"chanos/internal/vm"
+)
+
+var q = Options{Quick: true, Seed: 42}
+
+// --- E1: the headline scaling shape ---
+
+// The paper's crossover: fine-grained locking holds on to ~128 cores
+// ("By great effort Solaris has been made to scale to perhaps 128
+// cores"), then messages win in the hundreds.
+func TestE1MessageBeatsLocksAtScale(t *testing.T) {
+	big := e1Lock(q, 256, baseline.BigLock)
+	fine := e1Lock(q, 256, baseline.FineGrained)
+	msg := e1Msg(q, 256, 0.25, nil)
+	if !(fine > big) {
+		t.Fatalf("fine-grained (%v) should beat big lock (%v) at 256 cores", fine, big)
+	}
+	if !(msg > fine) {
+		t.Fatalf("message kernel (%v) should beat fine-grained (%v) at 256 cores", msg, fine)
+	}
+	// At 64 cores fine-grained is still allowed to be competitive
+	// (within 2x either way) — that is the "great effort" regime.
+	fine64 := e1Lock(q, 64, baseline.FineGrained)
+	msg64 := e1Msg(q, 64, 0.25, nil)
+	if msg64 > 2*fine64 || fine64 > 2*msg64 {
+		t.Fatalf("at 64 cores the designs should be comparable: msg %v vs fine %v", msg64, fine64)
+	}
+}
+
+func TestE1BigLockStopsScaling(t *testing.T) {
+	at4 := e1Lock(q, 4, baseline.BigLock)
+	at64 := e1Lock(q, 64, baseline.BigLock)
+	// 16x the cores must NOT give anywhere near 16x the throughput.
+	if at64 > at4*4 {
+		t.Fatalf("big lock scaled too well: %v @4 cores -> %v @64 cores", at4, at64)
+	}
+}
+
+func TestE1MessageKernelScales(t *testing.T) {
+	at4 := e1Msg(q, 4, 0.25, nil)
+	at64 := e1Msg(q, 64, 0.25, nil)
+	if at64 < at4*6 {
+		t.Fatalf("message kernel scaled poorly: %v @4 -> %v @64 (want >6x)", at4, at64)
+	}
+}
+
+// --- E2: syscall mechanisms ---
+
+func TestE2MessageSyscallBeatsTrap(t *testing.T) {
+	tl, tt := e2Trap(q, 0)
+	sl, st := e2MsgSync(q)
+	if sl >= tl {
+		t.Fatalf("message syscall latency %v >= trap %v", sl, tl)
+	}
+	if st <= tt {
+		t.Fatalf("message syscall throughput %v <= trap %v", st, tt)
+	}
+}
+
+func TestE2AsyncBatchingBeatsSync(t *testing.T) {
+	_, st := e2MsgSync(q)
+	_, at := e2MsgAsync(q)
+	if at <= st {
+		t.Fatalf("async batching (%v) should beat sync (%v)", at, st)
+	}
+}
+
+// --- E4: unwind/redo waste ---
+
+func TestE4SignalsWasteChannelsDont(t *testing.T) {
+	sig := e4Run(q, 100_000, true)
+	chn := e4Run(q, 100_000, false)
+	if sig.WastedCycles == 0 {
+		t.Fatal("signal model wasted nothing")
+	}
+	if chn.WastedCycles != 0 {
+		t.Fatalf("channel model wasted %d cycles", chn.WastedCycles)
+	}
+	lo := e4Run(q, 1_000, true)
+	if lo.WastedCycles >= sig.WastedCycles {
+		t.Fatalf("waste should grow with signal rate: %d @1k >= %d @100k",
+			lo.WastedCycles, sig.WastedCycles)
+	}
+}
+
+// --- E6: VM granularity ---
+
+func TestE6PerPageIsTooManyThreads(t *testing.T) {
+	tbls := e6VMGranularity(q)
+	rows := tbls[0].Rows
+	// cols: granularity, service threads, touches/sec, elapsed
+	elapsed := map[string]string{}
+	threads := map[string]int{}
+	for _, r := range rows {
+		elapsed[r[0]] = r[3]
+		var n int
+		if _, err := fmt.Sscan(r[1], &n); err != nil {
+			t.Fatalf("bad thread count %q", r[1])
+		}
+		threads[r[0]] = n
+	}
+	if threads[vm.PerPage.String()] <= 10*threads[vm.PerRegion.String()] {
+		t.Fatalf("per-page should spawn far more threads: %v", threads)
+	}
+	if threads[vm.LibOS.String()] != 0 {
+		t.Fatalf("libos should spawn no service threads: %v", threads)
+	}
+}
+
+// --- E7: availability ---
+
+func TestE7SupervisionRestartIsFast(t *testing.T) {
+	restart := e7MeasuredRestart(q)
+	if restart <= 0 {
+		t.Fatal("no restart latency measured")
+	}
+	// A restart must be far below a 30 s reboot (6e10 cycles); demand
+	// under 10 ms (2e7 cycles).
+	if restart > 2e7 {
+		t.Fatalf("restart latency %v cycles is not 'not failing' territory", restart)
+	}
+}
+
+// --- E11: choice implementations ---
+
+func TestE11WaitersBeatPollingWhenIdle(t *testing.T) {
+	tbls := e11Choice(q)
+	if len(tbls[0].Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The poll column must show nonzero wasted polls.
+	last := tbls[0].Rows[len(tbls[0].Rows)-1]
+	if last[3] == "0.00" {
+		t.Fatalf("poll implementation recorded no polls: %v", last)
+	}
+}
+
+// --- E12: copy tax ---
+
+func TestE12CopyTaxGrowsWithSize(t *testing.T) {
+	zcSmall, _ := e12run(q, false, 16)
+	scSmall, _ := e12run(q, true, 16)
+	zcBig, _ := e12run(q, false, 65536)
+	scBig, copied := e12run(q, true, 65536)
+	taxSmall := scSmall / zcSmall
+	taxBig := scBig / zcBig
+	if taxBig <= taxSmall {
+		t.Fatalf("copy tax should grow with size: %v (16B) vs %v (64KB)", taxSmall, taxBig)
+	}
+	if copied == 0 {
+		t.Fatal("no bytes copied recorded")
+	}
+}
+
+// --- E13: the cluster-of-VMs strawman ---
+
+func TestE13ChanOSBeatsVMClusterWithSharing(t *testing.T) {
+	window := sim.Time(1_500_000)
+	c := e13ChanOS(q, 64, 0.3, window)
+	v := e13Cluster(q, 64, 4, 0.3, window)
+	if c <= v {
+		t.Fatalf("chanOS (%v) should beat VM cluster (%v) at 30%% remote", c, v)
+	}
+	// With no sharing the cluster is competitive (fully partitioned).
+	c0 := e13ChanOS(q, 64, 0, window)
+	v0 := e13Cluster(q, 64, 4, 0, window)
+	if v0 < c0/3 {
+		t.Fatalf("fully partitioned cluster should be competitive: chanos %v vs cluster %v", c0, v0)
+	}
+}
+
+// --- E9: no policy dominates both workloads ---
+
+func TestE9StealingWinsFanOutLocalityFine(t *testing.T) {
+	wsFan := e9FanOut(q, 16, newWS(q))
+	rrFan := e9FanOut(q, 16, newRR())
+	if wsFan <= rrFan {
+		t.Fatalf("work-stealing (%v) should beat round-robin (%v) on irregular fan-out", wsFan, rrFan)
+	}
+	randPipe := e9Pipeline(q, 16, newRand(q))
+	rrPipe := e9Pipeline(q, 16, newRR())
+	if randPipe >= rrPipe {
+		t.Fatalf("random (%v) should lose to round-robin (%v) on the pipeline", randPipe, rrPipe)
+	}
+}
+
+// --- E10 via its table ---
+
+func TestE10TableFlagsSeededBugs(t *testing.T) {
+	tbls := e10Proto(q)
+	bugRows, cleanRows := 0, 0
+	for _, r := range tbls[0].Rows {
+		if strings.HasPrefix(r[0], "bug.") {
+			if r[3] != "BUG" {
+				t.Fatalf("seeded bug not flagged: %v", r)
+			}
+			bugRows++
+		} else {
+			if r[3] != "ok" {
+				t.Fatalf("clean protocol flagged: %v", r)
+			}
+			cleanRows++
+		}
+	}
+	if bugRows != 2 || cleanRows != 7 {
+		t.Fatalf("unexpected corpus shape: %d bugs, %d clean", bugRows, cleanRows)
+	}
+}
+
+// --- registry and full-suite smoke ---
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
+		"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+	if _, ok := Find("E1"); !ok {
+		t.Fatal("Find(E1) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find(nope) succeeded")
+	}
+}
+
+// TestAllExperimentsProduceTables runs the full suite at quick scale:
+// every experiment must emit at least one table with at least one row,
+// deterministically.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbls := e.Run(q)
+			if len(tbls) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tbls {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tb.Title)
+				}
+				if len(tb.Cols) == 0 {
+					t.Fatalf("%s table %q has no columns", e.ID, tb.Title)
+				}
+				for _, r := range tb.Rows {
+					if len(r) != len(tb.Cols) {
+						t.Fatalf("%s table %q row width %d != %d cols",
+							e.ID, tb.Title, len(r), len(tb.Cols))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package ipc
+
+import (
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func newRT(t *testing.T, cores int) *core.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 3})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestMachPortRoundTrip(t *testing.T) {
+	rt := newRT(t, 4)
+	p := NewMachPort(rt, 8)
+	var got core.Msg
+	rt.Boot("sender", func(th *core.Thread) {
+		p.Send(th, "msg", 256)
+	})
+	rt.Boot("receiver", func(th *core.Thread) {
+		th.Sleep(100)
+		got, _ = p.Recv(th, 256)
+	})
+	rt.Run()
+	if got != "msg" {
+		t.Fatalf("got %v", got)
+	}
+	if p.Msgs != 1 {
+		t.Fatalf("msgs = %d", p.Msgs)
+	}
+}
+
+// A Mach-port round trip must cost more than a lightweight channel round
+// trip: that is the paper's §2 distinction.
+func TestMachPortCostsMoreThanLightweightChannel(t *testing.T) {
+	elapse := func(useMach bool) sim.Time {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(4))
+		rt := core.NewRuntime(m, core.Config{Seed: 3})
+		defer rt.Shutdown()
+		const rounds = 100
+		if useMach {
+			p := NewMachPort(rt, 1)
+			rt.Boot("rx", func(th *core.Thread) {
+				for i := 0; i < rounds; i++ {
+					p.Recv(th, 64)
+				}
+			}, core.OnCore(1))
+			rt.Boot("tx", func(th *core.Thread) {
+				for i := 0; i < rounds; i++ {
+					p.Send(th, i, 64)
+				}
+			}, core.OnCore(0))
+		} else {
+			ch := rt.NewChan("light", 1)
+			rt.Boot("rx", func(th *core.Thread) {
+				for i := 0; i < rounds; i++ {
+					ch.Recv(th)
+				}
+			}, core.OnCore(1))
+			rt.Boot("tx", func(th *core.Thread) {
+				for i := 0; i < rounds; i++ {
+					ch.Send(th, i)
+				}
+			}, core.OnCore(0))
+		}
+		rt.Run()
+		return eng.Now()
+	}
+	mach := elapse(true)
+	light := elapse(false)
+	if mach <= light*2 {
+		t.Fatalf("mach port (%d) should be >2x lightweight channel (%d)", mach, light)
+	}
+}
+
+func TestL4CallReply(t *testing.T) {
+	rt := newRT(t, 4)
+	s := NewL4Server(rt, "double", func(t *core.Thread, arg core.Msg) core.Msg {
+		t.Compute(100)
+		return arg.(int) * 2
+	}, core.OnCore(1))
+	var got core.Msg
+	rt.Boot("client", func(th *core.Thread) {
+		got = s.Call(th, 21)
+		s.Stop(th)
+	}, core.OnCore(0))
+	rt.Run()
+	if got != 42 {
+		t.Fatalf("l4 call = %v, want 42", got)
+	}
+	if s.Calls != 1 {
+		t.Fatalf("calls = %d", s.Calls)
+	}
+}
+
+func TestL4CallerSuspendsUntilReply(t *testing.T) {
+	rt := newRT(t, 4)
+	s := NewL4Server(rt, "slow", func(t *core.Thread, arg core.Msg) core.Msg {
+		t.Compute(50_000)
+		return nil
+	}, core.OnCore(1))
+	var when sim.Time
+	rt.Boot("client", func(th *core.Thread) {
+		s.Call(th, nil)
+		when = th.Now()
+		s.Stop(th)
+	}, core.OnCore(0))
+	rt.Run()
+	if when < 50_000 {
+		t.Fatalf("caller resumed at %d, before server finished", when)
+	}
+}

@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"testing"
+
+	"chanos/internal/sim"
+)
+
+// Contended-line transactions must serialize: N acquisitions at the same
+// instant cost ~N * transfer in aggregate, not 1.
+func TestLineTransactionsSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, DefaultParams(16))
+	l := m.NewLine()
+	l.AcquireExclusive(0)
+
+	// Simulate 8 cores acquiring "simultaneously" (same engine time).
+	var costs []uint64
+	for c := 1; c <= 8; c++ {
+		costs = append(costs, l.AcquireExclusive(c))
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] <= costs[i-1] {
+			t.Fatalf("line did not serialize: costs %v", costs)
+		}
+	}
+	if l.WaitCycles == 0 {
+		t.Fatal("no queueing recorded on a contended line")
+	}
+}
+
+func TestLineNoSerializationWhenSpaced(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, DefaultParams(16))
+	l := m.NewLine()
+	quiet := func() {
+		eng.At(eng.Now()+1_000_000, func() {})
+		eng.Run()
+	}
+	l.AcquireExclusive(0)
+	quiet()
+	c1 := l.AcquireExclusive(1)
+	quiet()
+	c2 := l.AcquireExclusive(2)
+	// Transfers at quiet times never queue.
+	if l.WaitCycles != 0 {
+		t.Fatalf("unexpected wait cycles: %d (costs %d, %d)", l.WaitCycles, c1, c2)
+	}
+}
+
+func TestAddSharerGrowsInvalidationCost(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, DefaultParams(64))
+	quiet := func(l *Line) { // isolate from serialization effects
+		eng.At(eng.Now()+10_000_000, func() {})
+		eng.Run()
+	}
+
+	a := m.NewLine()
+	a.AcquireExclusive(0)
+	quiet(a)
+	base := a.AcquireExclusive(1)
+
+	b := m.NewLine()
+	b.AcquireExclusive(0)
+	for c := 2; c < 20; c++ {
+		b.AddSharer(c)
+	}
+	quiet(b)
+	stormy := b.AcquireExclusive(1)
+	if stormy <= base {
+		t.Fatalf("invalidation storm not charged: %d vs %d", stormy, base)
+	}
+}

@@ -1,0 +1,203 @@
+package proto
+
+// Corpus returns the chanOS protocol definitions checked by E10 and
+// cmd/protocheck: the kernel's real message protocols plus two
+// deliberately broken ones that the checker must catch.
+func Corpus() []*Protocol {
+	return []*Protocol{
+		SyscallProtocol(),
+		VnodeLookupProtocol(),
+		DriverProtocol(),
+		AllocProtocol(),
+		SupervisionProtocol(),
+		VMFaultProtocol(),
+		PipeProtocol(),
+		BuggyCrossRendezvous(),
+		BuggyUnhandledReply(),
+	}
+}
+
+// VMFaultProtocol is the conservative-design page fault path: app faults
+// to the region server, which may need a frame from the allocator.
+func VMFaultProtocol() *Protocol {
+	p := New("vm.fault")
+	p.Channel("fault", 2).Channel("faultR", 1).
+		Channel("frame", 1).Channel("frameR", 1)
+	app := p.Role("app")
+	app.SendT("touch", "fault", "PageFault", "waiting")
+	app.RecvT("waiting", "faultR", "Mapped", "running")
+	app.RecvT("waiting", "faultR", "NoFrames", "oom")
+	app.Final("running", "oom")
+	srv := p.Role("regionServer")
+	srv.RecvT("idle", "fault", "PageFault", "allocating")
+	srv.SendT("allocating", "frame", "AllocFrame", "awaitFrame")
+	srv.RecvT("awaitFrame", "frameR", "Frame", "mapping")
+	srv.RecvT("awaitFrame", "frameR", "Empty", "failing")
+	srv.TauT("mapping", "replying")
+	srv.SendT("replying", "faultR", "Mapped", "idle")
+	srv.SendT("failing", "faultR", "NoFrames", "idle")
+	srv.Final("idle")
+	alloc := p.Role("frameAlloc")
+	alloc.RecvT("idle", "frame", "AllocFrame", "popping")
+	alloc.SendT("popping", "frameR", "Frame", "idle")
+	alloc.SendT("popping", "frameR", "Empty", "idle")
+	alloc.Final("idle")
+	return p
+}
+
+// PipeProtocol is the compat layer's pipe: writer sends chunks then EOF;
+// reader consumes until EOF. (EOF is modelled as a message, standing in
+// for channel close.)
+func PipeProtocol() *Protocol {
+	p := New("compat.pipe")
+	p.Channel("data", 2)
+	w := p.Role("writer")
+	w.SendT("open", "data", "Chunk", "open")
+	w.SendT("open", "data", "EOF", "closed")
+	w.Final("closed")
+	r := p.Role("reader")
+	r.RecvT("reading", "data", "Chunk", "reading")
+	r.RecvT("reading", "data", "EOF", "done")
+	r.Final("done")
+	return p
+}
+
+// SyscallProtocol is the basic kernel service call: request with reply
+// channel, response back.
+func SyscallProtocol() *Protocol {
+	p := New("kernel.syscall")
+	p.Channel("req", 2).Channel("resp", 1)
+	client := p.Role("client")
+	client.SendT("start", "req", "Call", "waiting")
+	client.RecvT("waiting", "resp", "Result", "done")
+	client.Final("done")
+	svc := p.Role("service")
+	svc.RecvT("idle", "req", "Call", "serving")
+	svc.TauT("serving", "replying")
+	svc.SendT("replying", "resp", "Result", "idle")
+	svc.Final("idle")
+	return p
+}
+
+// VnodeLookupProtocol is the FS path-walk hop: client asks the vnode
+// manager for a vnode channel, then the vnode, which consults the buffer
+// cache.
+func VnodeLookupProtocol() *Protocol {
+	p := New("vfs.lookup")
+	p.Channel("vmgr", 2).Channel("vmgrR", 1).
+		Channel("vn", 2).Channel("vnR", 1).
+		Channel("cache", 2).Channel("cacheR", 1)
+	client := p.Role("client")
+	client.SendT("start", "vmgr", "GetVnode", "awaitChan")
+	client.RecvT("awaitChan", "vmgrR", "VnodeChan", "haveChan")
+	client.SendT("haveChan", "vn", "Lookup", "awaitResp")
+	client.RecvT("awaitResp", "vnR", "Found", "done")
+	client.RecvT("awaitResp", "vnR", "NotFound", "done")
+	client.Final("done")
+	vmgr := p.Role("vmgr")
+	vmgr.RecvT("idle", "vmgr", "GetVnode", "resolving")
+	vmgr.SendT("resolving", "vmgrR", "VnodeChan", "idle")
+	vmgr.Final("idle")
+	vnode := p.Role("vnode")
+	vnode.RecvT("idle", "vn", "Lookup", "reading")
+	vnode.SendT("reading", "cache", "Get", "awaitBlock")
+	vnode.RecvT("awaitBlock", "cacheR", "Block", "deciding")
+	vnode.SendT("deciding", "vnR", "Found", "idle")
+	vnode.SendT("deciding", "vnR", "NotFound", "idle")
+	vnode.Final("idle")
+	cache := p.Role("cache")
+	cache.RecvT("idle", "cache", "Get", "fetching")
+	cache.SendT("fetching", "cacheR", "Block", "idle")
+	cache.Final("idle")
+	return p
+}
+
+// DriverProtocol is the single-threaded driver loop: request, program the
+// device, take the interrupt, reply.
+func DriverProtocol() *Protocol {
+	p := New("blockdev.driver")
+	p.Channel("req", 2).Channel("dev", 1).Channel("irq", 1).Channel("resp", 1)
+	client := p.Role("client")
+	client.SendT("start", "req", "IO", "waiting")
+	client.RecvT("waiting", "resp", "Done", "done")
+	client.Final("done")
+	driver := p.Role("driver")
+	driver.RecvT("idle", "req", "IO", "programming")
+	driver.SendT("programming", "dev", "Start", "awaitIRQ")
+	driver.RecvT("awaitIRQ", "irq", "Complete", "replying")
+	driver.SendT("replying", "resp", "Done", "idle")
+	driver.Final("idle")
+	device := p.Role("device")
+	device.RecvT("ready", "dev", "Start", "busy")
+	device.SendT("busy", "irq", "Complete", "ready")
+	device.Final("ready")
+	return p
+}
+
+// AllocProtocol is the cylinder-group administrator exchange.
+func AllocProtocol() *Protocol {
+	p := New("vfs.alloc")
+	p.Channel("alloc", 2).Channel("allocR", 1)
+	vnode := p.Role("vnode")
+	vnode.SendT("start", "alloc", "AllocBlock", "waiting")
+	vnode.RecvT("waiting", "allocR", "Block", "done")
+	vnode.RecvT("waiting", "allocR", "NoSpace", "done")
+	vnode.Final("done")
+	cg := p.Role("cgadmin")
+	cg.RecvT("idle", "alloc", "AllocBlock", "scanning")
+	cg.SendT("scanning", "allocR", "Block", "idle")
+	cg.SendT("scanning", "allocR", "NoSpace", "idle")
+	cg.Final("idle")
+	return p
+}
+
+// SupervisionProtocol is the monitor/exit-notice flow.
+func SupervisionProtocol() *Protocol {
+	p := New("supervise.monitor")
+	p.Channel("notify", 2)
+	worker := p.Role("worker")
+	worker.TauT("running", "crashing")
+	worker.SendT("crashing", "notify", "ExitNotice", "dead")
+	worker.TauT("running", "finishing")
+	worker.SendT("finishing", "notify", "ExitNotice", "dead")
+	worker.Final("dead")
+	sup := p.Role("supervisor")
+	sup.RecvT("watching", "notify", "ExitNotice", "handling")
+	sup.TauT("handling", "watching")
+	sup.Final("watching")
+	return p
+}
+
+// BuggyCrossRendezvous is the classic seeded deadlock: two peers that
+// each insist on sending first over rendezvous channels.
+func BuggyCrossRendezvous() *Protocol {
+	p := New("bug.cross-rendezvous")
+	p.Channel("ab", 0).Channel("ba", 0)
+	a := p.Role("A")
+	a.SendT("start", "ab", "Ping", "sent")
+	a.RecvT("sent", "ba", "Pong", "done")
+	a.Final("done")
+	b := p.Role("B")
+	b.SendT("start", "ba", "Pong", "sent")
+	b.RecvT("sent", "ab", "Ping", "done")
+	b.Final("done")
+	return p
+}
+
+// BuggyUnhandledReply seeds an unspecified reception: the server can
+// answer with an error the client never handles.
+func BuggyUnhandledReply() *Protocol {
+	p := New("bug.unhandled-reply")
+	p.Channel("req", 1).Channel("resp", 1)
+	client := p.Role("client")
+	client.SendT("start", "req", "Call", "waiting")
+	client.RecvT("waiting", "resp", "OK", "done")
+	// BUG: no transition for resp?Error.
+	client.Final("done")
+	server := p.Role("server")
+	server.RecvT("idle", "req", "Call", "serving")
+	server.SendT("serving", "resp", "OK", "idle")
+	server.SendT("serving", "resp", "Error", "idle")
+	server.Final("idle")
+	return p
+}

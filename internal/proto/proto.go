@@ -1,0 +1,377 @@
+// Package proto implements the paper's verification claim (§4): "the use
+// of messages, channels, and defined protocols offers some potential for
+// static verification using techniques developed for networking
+// software." Protocols are specified as communicating finite-state
+// machines — one FSM per role, sending and receiving typed messages on
+// named channels — and an explicit-state model checker explores the
+// product state space for deadlocks, unspecified receptions and orphan
+// messages.
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is what a transition does.
+type Action int
+
+// Transition actions.
+const (
+	Send Action = iota
+	Recv
+	Tau // internal step
+)
+
+// Transition is one edge in a role's FSM.
+type Transition struct {
+	From, To string
+	Act      Action
+	Chan     string
+	Msg      string
+}
+
+// Role is one party's FSM.
+type Role struct {
+	Name    string
+	initial string
+	finals  map[string]bool
+	trans   []Transition
+	states  map[string]bool
+}
+
+// Protocol is a set of roles communicating over named channels.
+type Protocol struct {
+	Name  string
+	roles []*Role
+	// chanBound maps channel -> queue bound (0 = rendezvous).
+	chanBound map[string]int
+	// chanRecvr maps channel -> the unique receiving role index.
+	chanRecvr map[string]int
+}
+
+// New creates an empty protocol.
+func New(name string) *Protocol {
+	return &Protocol{Name: name, chanBound: make(map[string]int), chanRecvr: make(map[string]int)}
+}
+
+// Channel declares a channel with a queue bound (0 = rendezvous). Every
+// channel must have exactly one receiving role.
+func (p *Protocol) Channel(name string, bound int) *Protocol {
+	if bound < 0 {
+		panic("proto: negative channel bound")
+	}
+	p.chanBound[name] = bound
+	return p
+}
+
+// Role adds a role; the first state mentioned becomes initial.
+func (p *Protocol) Role(name string) *Role {
+	r := &Role{Name: name, finals: make(map[string]bool), states: make(map[string]bool)}
+	p.roles = append(p.roles, r)
+	return r
+}
+
+func (r *Role) touch(state string) {
+	if r.initial == "" {
+		r.initial = state
+	}
+	r.states[state] = true
+}
+
+// SendT adds a send transition from -> to over ch with message msg.
+func (r *Role) SendT(from, ch, msg, to string) *Role {
+	r.touch(from)
+	r.touch(to)
+	r.trans = append(r.trans, Transition{From: from, To: to, Act: Send, Chan: ch, Msg: msg})
+	return r
+}
+
+// RecvT adds a receive transition.
+func (r *Role) RecvT(from, ch, msg, to string) *Role {
+	r.touch(from)
+	r.touch(to)
+	r.trans = append(r.trans, Transition{From: from, To: to, Act: Recv, Chan: ch, Msg: msg})
+	return r
+}
+
+// TauT adds an internal transition.
+func (r *Role) TauT(from, to string) *Role {
+	r.touch(from)
+	r.touch(to)
+	r.trans = append(r.trans, Transition{From: from, To: to, Act: Tau})
+	return r
+}
+
+// Final marks a state as an acceptable terminal state.
+func (r *Role) Final(states ...string) *Role {
+	for _, s := range states {
+		r.touch(s)
+		r.finals[s] = true
+	}
+	return r
+}
+
+// Finding is one problem the checker found, with a shortest trace.
+type Finding struct {
+	Kind  string // "deadlock", "unspecified-reception", "orphan-messages"
+	State string
+	Trace []string
+}
+
+// Result is the verification outcome.
+type Result struct {
+	Protocol       string
+	StatesExplored int
+	Transitions    int
+	Truncated      bool // state bound hit: verification incomplete
+	Findings       []Finding
+}
+
+// OK reports whether no problems were found (and the search completed).
+func (r Result) OK() bool { return len(r.Findings) == 0 && !r.Truncated }
+
+// gstate is one global state: role states + channel queues.
+type gstate struct {
+	roles  []string
+	queues map[string][]string
+}
+
+func (g gstate) key() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(g.roles, "|"))
+	b.WriteByte('#')
+	chans := make([]string, 0, len(g.queues))
+	for c := range g.queues {
+		chans = append(chans, c)
+	}
+	sort.Strings(chans)
+	for _, c := range chans {
+		b.WriteString(c)
+		b.WriteByte('=')
+		b.WriteString(strings.Join(g.queues[c], ","))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func (g gstate) clone() gstate {
+	ng := gstate{roles: append([]string(nil), g.roles...), queues: make(map[string][]string, len(g.queues))}
+	for c, q := range g.queues {
+		ng.queues[c] = append([]string(nil), q...)
+	}
+	return ng
+}
+
+type succ struct {
+	state gstate
+	label string
+}
+
+// validate checks structural constraints and infers channel receivers.
+func (p *Protocol) validate() error {
+	if len(p.roles) == 0 {
+		return fmt.Errorf("proto %s: no roles", p.Name)
+	}
+	for ri, r := range p.roles {
+		if r.initial == "" {
+			return fmt.Errorf("proto %s: role %s has no states", p.Name, r.Name)
+		}
+		for _, tr := range r.trans {
+			if tr.Act == Tau {
+				continue
+			}
+			if _, ok := p.chanBound[tr.Chan]; !ok {
+				return fmt.Errorf("proto %s: role %s uses undeclared channel %q", p.Name, r.Name, tr.Chan)
+			}
+			if tr.Act == Recv {
+				if prev, ok := p.chanRecvr[tr.Chan]; ok && prev != ri {
+					return fmt.Errorf("proto %s: channel %q has two receivers (%s, %s)",
+						p.Name, tr.Chan, p.roles[prev].Name, r.Name)
+				}
+				p.chanRecvr[tr.Chan] = ri
+			}
+		}
+	}
+	return nil
+}
+
+// successors enumerates enabled global transitions deterministically.
+func (p *Protocol) successors(g gstate) []succ {
+	var out []succ
+	for ri, r := range p.roles {
+		cur := g.roles[ri]
+		for _, tr := range r.trans {
+			if tr.From != cur {
+				continue
+			}
+			switch tr.Act {
+			case Tau:
+				ng := g.clone()
+				ng.roles[ri] = tr.To
+				out = append(out, succ{ng, fmt.Sprintf("%s: tau %s->%s", r.Name, tr.From, tr.To)})
+			case Send:
+				bound := p.chanBound[tr.Chan]
+				if bound == 0 {
+					// Rendezvous: pair with a matching receive.
+					rcv, ok := p.chanRecvr[tr.Chan]
+					if !ok || rcv == ri {
+						continue
+					}
+					for _, rtr := range p.roles[rcv].trans {
+						if rtr.Act == Recv && rtr.Chan == tr.Chan && rtr.Msg == tr.Msg &&
+							rtr.From == g.roles[rcv] {
+							ng := g.clone()
+							ng.roles[ri] = tr.To
+							ng.roles[rcv] = rtr.To
+							out = append(out, succ{ng, fmt.Sprintf("%s -%s!%s-> %s (rendezvous)",
+								r.Name, tr.Chan, tr.Msg, p.roles[rcv].Name)})
+						}
+					}
+					continue
+				}
+				if len(g.queues[tr.Chan]) >= bound {
+					continue // queue full: send blocked
+				}
+				ng := g.clone()
+				ng.queues[tr.Chan] = append(ng.queues[tr.Chan], tr.Msg)
+				ng.roles[ri] = tr.To
+				out = append(out, succ{ng, fmt.Sprintf("%s: %s!%s", r.Name, tr.Chan, tr.Msg)})
+			case Recv:
+				bound := p.chanBound[tr.Chan]
+				if bound == 0 {
+					continue // handled from the send side
+				}
+				q := g.queues[tr.Chan]
+				if len(q) == 0 || q[0] != tr.Msg {
+					continue
+				}
+				ng := g.clone()
+				ng.queues[tr.Chan] = append([]string(nil), q[1:]...)
+				ng.roles[ri] = tr.To
+				out = append(out, succ{ng, fmt.Sprintf("%s: %s?%s", r.Name, tr.Chan, tr.Msg)})
+			}
+		}
+	}
+	return out
+}
+
+// classify inspects a stuck or terminal state.
+func (p *Protocol) classify(g gstate) []Finding {
+	allFinal := true
+	for ri, r := range p.roles {
+		if !r.finals[g.roles[ri]] {
+			allFinal = false
+		}
+	}
+	queued := 0
+	for _, q := range g.queues {
+		queued += len(q)
+	}
+	if allFinal {
+		if queued > 0 {
+			return []Finding{{Kind: "orphan-messages", State: g.key()}}
+		}
+		return nil // clean termination
+	}
+	// Someone is stuck. Is a role facing a message it can never consume?
+	for ch, q := range g.queues {
+		if len(q) == 0 {
+			continue
+		}
+		ri, ok := p.chanRecvr[ch]
+		if !ok {
+			continue
+		}
+		r := p.roles[ri]
+		canEver := false
+		for _, tr := range r.trans {
+			if tr.Act == Recv && tr.Chan == ch && tr.From == g.roles[ri] && tr.Msg == q[0] {
+				canEver = true
+			}
+		}
+		hasRecvHere := false
+		for _, tr := range r.trans {
+			if tr.Act == Recv && tr.Chan == ch && tr.From == g.roles[ri] {
+				hasRecvHere = true
+			}
+		}
+		if hasRecvHere && !canEver {
+			return []Finding{{Kind: "unspecified-reception", State: g.key()}}
+		}
+	}
+	return []Finding{{Kind: "deadlock", State: g.key()}}
+}
+
+// Verify model-checks the protocol by BFS up to maxStates global states
+// (0 = default 200k). Traces in findings are shortest paths.
+func Verify(p *Protocol, maxStates int) (Result, error) {
+	res := Result{Protocol: p.Name}
+	if err := p.validate(); err != nil {
+		return res, err
+	}
+	if maxStates <= 0 {
+		maxStates = 200_000
+	}
+	init := gstate{roles: make([]string, len(p.roles)), queues: make(map[string][]string)}
+	for i, r := range p.roles {
+		init.roles[i] = r.initial
+	}
+	for c, b := range p.chanBound {
+		if b > 0 {
+			init.queues[c] = nil
+		}
+	}
+
+	type parentInfo struct {
+		parent string
+		label  string
+	}
+	visited := map[string]parentInfo{init.key(): {}}
+	queue := []gstate{init}
+	trace := func(key string) []string {
+		var steps []string
+		for key != init.key() {
+			pi := visited[key]
+			steps = append(steps, pi.label)
+			key = pi.parent
+		}
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		return steps
+	}
+	seenFinding := map[string]bool{}
+
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		res.StatesExplored++
+		if res.StatesExplored > maxStates {
+			res.Truncated = true
+			break
+		}
+		succs := p.successors(g)
+		res.Transitions += len(succs)
+		if len(succs) == 0 {
+			for _, f := range p.classify(g) {
+				if !seenFinding[f.Kind] {
+					seenFinding[f.Kind] = true
+					f.Trace = trace(g.key())
+					res.Findings = append(res.Findings, f)
+				}
+			}
+			continue
+		}
+		for _, s := range succs {
+			k := s.state.key()
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			visited[k] = parentInfo{parent: g.key(), label: s.label}
+			queue = append(queue, s.state)
+		}
+	}
+	return res, nil
+}

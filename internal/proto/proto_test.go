@@ -1,0 +1,195 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustVerify(t *testing.T, p *Protocol) Result {
+	t.Helper()
+	res, err := Verify(p, 0)
+	if err != nil {
+		t.Fatalf("verify %s: %v", p.Name, err)
+	}
+	return res
+}
+
+func TestCleanProtocolsVerify(t *testing.T) {
+	for _, p := range []*Protocol{
+		SyscallProtocol(), VnodeLookupProtocol(), DriverProtocol(),
+		AllocProtocol(), SupervisionProtocol(), VMFaultProtocol(),
+		PipeProtocol(),
+	} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res := mustVerify(t, p)
+			if !res.OK() {
+				t.Fatalf("clean protocol flagged: %+v", res.Findings)
+			}
+			if res.StatesExplored == 0 {
+				t.Fatal("no states explored")
+			}
+		})
+	}
+}
+
+func TestSeededDeadlockFound(t *testing.T) {
+	res := mustVerify(t, BuggyCrossRendezvous())
+	if res.OK() {
+		t.Fatal("cross-rendezvous deadlock not found")
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Kind == "deadlock" {
+			found = true
+			if len(f.Trace) != 0 {
+				t.Fatalf("initial-state deadlock should have empty trace, got %v", f.Trace)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no deadlock finding: %+v", res.Findings)
+	}
+}
+
+func TestSeededUnspecifiedReceptionFound(t *testing.T) {
+	res := mustVerify(t, BuggyUnhandledReply())
+	if res.OK() {
+		t.Fatal("unhandled reply not found")
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Kind == "unspecified-reception" {
+			found = true
+			if len(f.Trace) == 0 {
+				t.Fatal("finding has no trace")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("wrong finding kinds: %+v", res.Findings)
+	}
+}
+
+func TestDeadlockTraceIsActionPath(t *testing.T) {
+	// A deadlock one step in: A sends on a buffered channel B never
+	// reads, then both wait forever.
+	p := New("trace-test")
+	p.Channel("c", 1).Channel("d", 1)
+	a := p.Role("A")
+	a.SendT("s0", "c", "M", "s1")
+	a.RecvT("s1", "d", "R", "done")
+	a.Final("done")
+	b := p.Role("B")
+	b.RecvT("t0", "c", "X", "t1") // wrong message name: never consumable
+	b.Final("t1")
+	res := mustVerify(t, p)
+	if res.OK() {
+		t.Fatal("stuck protocol passed")
+	}
+	f := res.Findings[0]
+	if len(f.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+	if !strings.Contains(f.Trace[0], "c!M") {
+		t.Fatalf("trace = %v", f.Trace)
+	}
+}
+
+func TestOrphanMessages(t *testing.T) {
+	p := New("orphan")
+	p.Channel("c", 2)
+	a := p.Role("A")
+	a.SendT("s0", "c", "M", "done")
+	a.Final("done")
+	b := p.Role("B")
+	b.TauT("t0", "done")
+	b.RecvT("never", "c", "M", "never2") // declares receivership, never reaches it
+	b.Final("done")
+	res := mustVerify(t, p)
+	found := false
+	for _, f := range res.Findings {
+		if f.Kind == "orphan-messages" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("orphan message not flagged: %+v", res.Findings)
+	}
+}
+
+func TestTwoReceiversRejected(t *testing.T) {
+	p := New("bad")
+	p.Channel("c", 1)
+	a := p.Role("A")
+	a.RecvT("s", "c", "M", "s2")
+	b := p.Role("B")
+	b.RecvT("t", "c", "M", "t2")
+	if _, err := Verify(p, 0); err == nil {
+		t.Fatal("two receivers accepted")
+	}
+}
+
+func TestUndeclaredChannelRejected(t *testing.T) {
+	p := New("bad2")
+	a := p.Role("A")
+	a.SendT("s", "nochan", "M", "s2")
+	if _, err := Verify(p, 0); err == nil {
+		t.Fatal("undeclared channel accepted")
+	}
+}
+
+func TestStateBoundTruncates(t *testing.T) {
+	// A protocol with a big state space: two counters racing on a wide
+	// buffered channel.
+	p := New("big")
+	p.Channel("c", 6)
+	a := p.Role("A")
+	a.SendT("s0", "c", "M", "s1")
+	a.SendT("s1", "c", "M", "s0")
+	a.Final("s0", "s1")
+	b := p.Role("B")
+	b.RecvT("t0", "c", "M", "t1")
+	b.RecvT("t1", "c", "M", "t0")
+	b.Final("t0", "t1")
+	res, err := Verify(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("tiny bound did not truncate")
+	}
+	if res.OK() {
+		t.Fatal("truncated result must not claim OK")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := Corpus()
+	if len(c) != 9 {
+		t.Fatalf("corpus has %d protocols", len(c))
+	}
+	bugs := 0
+	for _, p := range c {
+		res := mustVerify(t, p)
+		if strings.HasPrefix(p.Name, "bug.") {
+			if res.OK() {
+				t.Errorf("seeded bug %s not caught", p.Name)
+			}
+			bugs++
+		} else if !res.OK() {
+			t.Errorf("clean protocol %s flagged: %+v", p.Name, res.Findings)
+		}
+	}
+	if bugs != 2 {
+		t.Fatalf("expected 2 seeded bugs, saw %d", bugs)
+	}
+}
+
+func TestDeterministicVerification(t *testing.T) {
+	a := mustVerify(t, VnodeLookupProtocol())
+	b := mustVerify(t, VnodeLookupProtocol())
+	if a.StatesExplored != b.StatesExplored || a.Transitions != b.Transitions {
+		t.Fatalf("nondeterministic verification: %+v vs %+v", a, b)
+	}
+}

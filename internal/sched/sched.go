@@ -1,0 +1,178 @@
+// Package sched provides thread-to-core placement policies for the
+// lightweight-channel runtime. The paper lists "deciding which threads to
+// place on which cores, and which groups of threads to place together on
+// the same core" among the new difficulties of the model (§5); experiment
+// E9 compares these policies.
+package sched
+
+import (
+	"chanos/internal/core"
+	"chanos/internal/sim"
+)
+
+// RoundRobin places threads on consecutive cores, honoring explicit
+// hints. It never steals.
+type RoundRobin struct {
+	next int
+}
+
+// Place implements core.Scheduler.
+func (s *RoundRobin) Place(rt *core.Runtime, hint core.PlaceHint) int {
+	if hint.Core >= 0 {
+		return hint.Core
+	}
+	if hint.Near != nil {
+		return hint.Near.Core()
+	}
+	c := s.next % rt.NumCores()
+	s.next++
+	return c
+}
+
+// Steal implements core.Scheduler (never steals).
+func (s *RoundRobin) Steal(rt *core.Runtime, idleCore int) *core.Thread { return nil }
+
+// Random places threads uniformly at random (seeded, deterministic).
+type Random struct {
+	rng *sim.RNG
+}
+
+// NewRandom returns a Random policy with its own RNG stream.
+func NewRandom(seed uint64) *Random { return &Random{rng: sim.NewRNG(seed)} }
+
+// Place implements core.Scheduler.
+func (s *Random) Place(rt *core.Runtime, hint core.PlaceHint) int {
+	if hint.Core >= 0 {
+		return hint.Core
+	}
+	return s.rng.Intn(rt.NumCores())
+}
+
+// Steal implements core.Scheduler (never steals).
+func (s *Random) Steal(rt *core.Runtime, idleCore int) *core.Thread { return nil }
+
+// LeastLoaded places each thread on the core with the shortest run queue,
+// breaking ties by lowest core id. Ignores locality entirely.
+type LeastLoaded struct{}
+
+// Place implements core.Scheduler.
+func (s *LeastLoaded) Place(rt *core.Runtime, hint core.PlaceHint) int {
+	if hint.Core >= 0 {
+		return hint.Core
+	}
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := 0; i < rt.NumCores(); i++ {
+		if l := rt.CoreAssigned(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// Steal implements core.Scheduler (never steals).
+func (s *LeastLoaded) Steal(rt *core.Runtime, idleCore int) *core.Thread { return nil }
+
+// Locality honours Near hints by scoring cores on mesh distance from the
+// hinted peer plus current load, so communicating threads land close to
+// each other. Without a hint it behaves like LeastLoaded.
+type Locality struct {
+	// DistWeight is how many run-queue entries one mesh hop is "worth".
+	// Larger values pack communicating threads tighter. Default 2.
+	DistWeight int
+}
+
+// Place implements core.Scheduler.
+func (s *Locality) Place(rt *core.Runtime, hint core.PlaceHint) int {
+	if hint.Core >= 0 {
+		return hint.Core
+	}
+	w := s.DistWeight
+	if w == 0 {
+		w = 2
+	}
+	if hint.Near == nil {
+		return (&LeastLoaded{}).Place(rt, hint)
+	}
+	origin := hint.Near.Core()
+	best, bestScore := origin, int(^uint(0)>>1)
+	for i := 0; i < rt.NumCores(); i++ {
+		score := rt.CoreAssigned(i) + w*rt.M.Dist(origin, i)
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Steal implements core.Scheduler (never steals).
+func (s *Locality) Steal(rt *core.Runtime, idleCore int) *core.Thread { return nil }
+
+// WorkStealing places like LeastLoaded and lets idle cores steal from the
+// most loaded core. Stolen threads pay a migration penalty implicitly via
+// lost cache locality (modelled by the context-switch charge on dispatch).
+type WorkStealing struct {
+	rng *sim.RNG
+	// Probes is how many victim candidates to examine per steal attempt
+	// (power-of-two-choices style). Default 4.
+	Probes int
+}
+
+// NewWorkStealing returns a WorkStealing policy with a seeded RNG.
+func NewWorkStealing(seed uint64) *WorkStealing {
+	return &WorkStealing{rng: sim.NewRNG(seed), Probes: 4}
+}
+
+// Place implements core.Scheduler.
+func (s *WorkStealing) Place(rt *core.Runtime, hint core.PlaceHint) int {
+	if hint.Core >= 0 {
+		return hint.Core
+	}
+	if hint.Near != nil {
+		return hint.Near.Core()
+	}
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := 0; i < rt.NumCores(); i++ {
+		if l := rt.CoreAssigned(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// Steal implements core.Scheduler: probe a few random victims first (the
+// cheap, classic power-of-choices path), then fall back to a full scan so
+// an idle core never misses a large backlog.
+func (s *WorkStealing) Steal(rt *core.Runtime, idleCore int) *core.Thread {
+	n := rt.NumCores()
+	if n == 1 {
+		return nil
+	}
+	probes := s.Probes
+	if probes <= 0 {
+		probes = 4
+	}
+	victim, victimLoad := -1, 1 // need at least 2 queued to be worth stealing
+	for i := 0; i < probes; i++ {
+		c := s.rng.Intn(n)
+		if c == idleCore {
+			continue
+		}
+		if l := rt.CoreLoad(c); l > victimLoad {
+			victim, victimLoad = c, l
+		}
+	}
+	if victim < 0 {
+		for c := 0; c < n; c++ {
+			if c == idleCore {
+				continue
+			}
+			if l := rt.CoreLoad(c); l > victimLoad {
+				victim, victimLoad = c, l
+			}
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	return rt.StealFrom(victim, idleCore)
+}

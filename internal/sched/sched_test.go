@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func newRT(t *testing.T, cores int, s core.Scheduler) *core.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 11, Sched: s})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func placeN(rt *core.Runtime, n int) []int {
+	cores := make([]int, 0, n)
+	ch := rt.NewChan("block", 0)
+	for i := 0; i < n; i++ {
+		rt.Boot("w", func(th *core.Thread) {
+			cores = append(cores, th.Core())
+			ch.Recv(th) // stay alive so loads persist
+		})
+	}
+	rt.Run()
+	return cores
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	rt := newRT(t, 4, &RoundRobin{})
+	cores := placeN(rt, 8)
+	counts := map[int]int{}
+	for _, c := range cores {
+		counts[c]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 2 {
+			t.Fatalf("round robin uneven: %v", counts)
+		}
+	}
+}
+
+func TestRandomIsDeterministicAndInRange(t *testing.T) {
+	run := func() []int {
+		rt := newRT(t, 8, NewRandom(5))
+		return placeN(rt, 20)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random placement differs across same-seed runs")
+		}
+		if a[i] < 0 || a[i] >= 8 {
+			t.Fatalf("placement out of range: %d", a[i])
+		}
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	rt := newRT(t, 4, &LeastLoaded{})
+	cores := placeN(rt, 12)
+	counts := map[int]int{}
+	for _, c := range cores {
+		counts[c]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 3 {
+			t.Fatalf("least-loaded uneven: %v", counts)
+		}
+	}
+}
+
+func TestLocalityHonoursNearHint(t *testing.T) {
+	rt := newRT(t, 16, &Locality{DistWeight: 100})
+	var parentCore, childCore int
+	done := rt.NewChan("done", 1)
+	rt.Boot("parent", func(th *core.Thread) {
+		parentCore = th.Core()
+		child := th.Spawn("child", func(th2 *core.Thread) {
+			childCore = th2.Core()
+		}, core.Near(th))
+		_ = child
+		done.Send(th, 1)
+	}, core.OnCore(5))
+	rt.Boot("join", func(th *core.Thread) { done.Recv(th) })
+	rt.Run()
+	if d := rt.M.Dist(parentCore, childCore); d > 1 {
+		t.Fatalf("locality placed child %d hops from parent", d)
+	}
+}
+
+func TestExplicitCoreOverridesAll(t *testing.T) {
+	for name, s := range map[string]core.Scheduler{
+		"rr": &RoundRobin{}, "rand": NewRandom(3), "ll": &LeastLoaded{},
+		"loc": &Locality{}, "ws": NewWorkStealing(3),
+	} {
+		rt := newRT(t, 8, s)
+		var got int
+		rt.Boot("pinned", func(th *core.Thread) { got = th.Core() }, core.OnCore(6))
+		rt.Run()
+		if got != 6 {
+			t.Fatalf("%s: OnCore(6) placed on %d", name, got)
+		}
+	}
+}
+
+// Work stealing should finish an imbalanced batch faster than a policy
+// that leaves a pile of threads on one core.
+func TestWorkStealingImprovesImbalance(t *testing.T) {
+	run := func(s core.Scheduler) sim.Time {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(8))
+		rt := core.NewRuntime(m, core.Config{Seed: 11, Sched: s})
+		defer rt.Shutdown()
+		done := rt.NewChan("done", 64)
+		// Pile 32 compute-bound threads onto core 0.
+		for i := 0; i < 32; i++ {
+			rt.Boot("heavy", func(th *core.Thread) {
+				th.Compute(50_000)
+				done.Send(th, 1)
+			}, core.OnCore(0))
+		}
+		rt.Boot("join", func(th *core.Thread) {
+			for i := 0; i < 32; i++ {
+				done.Recv(th)
+			}
+		})
+		rt.Run()
+		return eng.Now()
+	}
+	noSteal := run(&RoundRobin{})
+	steal := run(NewWorkStealing(9))
+	if steal >= noSteal {
+		t.Fatalf("stealing (%d) not faster than pinned pile (%d)", steal, noSteal)
+	}
+	// With 8 cores the ideal speedup is 8x; demand at least 3x.
+	if float64(noSteal)/float64(steal) < 3 {
+		t.Fatalf("stealing speedup only %.2fx", float64(noSteal)/float64(steal))
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins the chanOS reproduction: a virtual clock measured in CPU
+// cycles, a stable-ordered event heap, and a seedable random number
+// generator. Everything above this package (machine model, channel runtime,
+// kernel, experiments) schedules work through a single Engine, so a whole
+// 1024-core run is reproducible from one seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in CPU cycles since boot.
+type Time = uint64
+
+// Event is a scheduled callback. Events are ordered by (When, seq): two
+// events at the same virtual time run in the order they were scheduled,
+// which is what makes runs deterministic.
+type Event struct {
+	When Time
+	fn   func()
+	seq  uint64
+	idx  int // heap index, -1 once popped or canceled
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (ev *Event) Canceled() bool { return ev.fn == nil }
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// by design exactly one goroutine (the "engine goroutine") drives it.
+type Engine struct {
+	now    Time
+	seq    uint64
+	pq     eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, uncanceled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality, which is always a bug in callers.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	ev := &Event{When: t, fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil {
+		return
+	}
+	ev.fn = nil
+	if ev.idx >= 0 {
+		heap.Remove(&e.pq, ev.idx)
+	}
+}
+
+// Step runs the single earliest event. It returns false if no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.fn == nil {
+			continue // canceled
+		}
+		if ev.When < e.now {
+			panic("sim: event heap returned an event in the past")
+		}
+		e.now = ev.When
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t (even if the heap drained earlier or later events
+// remain pending).
+func (e *Engine) RunUntil(t Time) {
+	e.halted = false
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.When > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events
+// stay queued, so the simulation can be resumed.
+func (e *Engine) Halt() { e.halted = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.pq) > 0 {
+		if e.pq[0].fn == nil {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// eventHeap is a min-heap ordered by (When, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

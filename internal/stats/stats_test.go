@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 23 {
+		t.Fatalf("mean = %v, want 23", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	p50 := h.Percentile(50)
+	// Bucketed: p50 of 1..1000 is in [512,1023] bucket upper bound, but
+	// must be way below max*2 and above 256.
+	if p50 < 256 || p50 > 1023 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	if h.Percentile(100) != 1000 {
+		t.Fatalf("p100 = %d, want max", h.Percentile(100))
+	}
+	if h.Percentile(0) > 1 {
+		t.Fatalf("p0 = %d", h.Percentile(0))
+	}
+}
+
+func TestHistogramEmptySafe(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	if h.N() != 1 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("zero sample mishandled")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(0); i < 50; i++ {
+		a.Add(10)
+		b.Add(1000)
+	}
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if a.Max() != 1000 || a.Min() != 10 {
+		t.Fatalf("merged bounds %d..%d", a.Min(), a.Max())
+	}
+}
+
+// Property: percentile is monotonic in p and bounded by [min-bucket, max].
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Add(uint64(s))
+		}
+		prev := uint64(0)
+		for p := 0.0; p <= 100; p += 10 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) <= h.Max() || h.Max() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta", "2")
+	tb.Note("a footnote")
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "alpha", "beta", "note: a footnote", "name"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("q", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		12:     "12.00",
+		12345:  "12.35k",
+		2.5e6:  "2.50M",
+		3.25e9: "3.25G",
+		9999:   "9999.00",
+		10000:  "10.00k",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Ratio(10, 0) != "inf" {
+		t.Error("Ratio by zero")
+	}
+	if Ratio(10, 4) != "2.50x" {
+		t.Errorf("Ratio = %s", Ratio(10, 4))
+	}
+}

@@ -1,0 +1,105 @@
+// Package trace records simulator activity — thread run segments,
+// message deliveries, exits — and exports them in the Chrome trace-event
+// format (chrome://tracing, Perfetto). Cores map to trace "processes"
+// and threads to trace "threads", so the timeline shows exactly how the
+// lightweight threads tiled onto the simulated cores and where messages
+// crossed between them.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"chanos/internal/sim"
+)
+
+// Event is one Chrome trace event (subset of the spec).
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Collector accumulates events. It is driven from the engine goroutine
+// only, so it needs no locking. The zero value is NOT usable; call New.
+type Collector struct {
+	events []Event
+	// cyclesPerMicro converts virtual cycles to trace microseconds.
+	cyclesPerMicro float64
+	// Cap bounds memory; once reached, further events are dropped and
+	// counted.
+	Cap     int
+	Dropped uint64
+}
+
+// New returns a collector for a machine running at cyclesPerSec.
+func New(cyclesPerSec uint64) *Collector {
+	return &Collector{cyclesPerMicro: float64(cyclesPerSec) / 1e6, Cap: 1 << 20}
+}
+
+func (c *Collector) us(t sim.Time) float64 { return float64(t) / c.cyclesPerMicro }
+
+func (c *Collector) add(ev Event) {
+	if c.Cap > 0 && len(c.events) >= c.Cap {
+		c.Dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// RunSegment implements core.Tracer: thread tid ran on coreID over
+// [start, end).
+func (c *Collector) RunSegment(tid int, name string, coreID int, start, end sim.Time) {
+	if end <= start {
+		return
+	}
+	c.add(Event{
+		Name: name, Cat: "run", Ph: "X",
+		TS: c.us(start), Dur: c.us(end - start),
+		PID: coreID, TID: tid,
+	})
+}
+
+// Message implements core.Tracer: a value was delivered on channel ch.
+func (c *Collector) Message(ch string, fromCore, toCore int, at sim.Time) {
+	c.add(Event{
+		Name: ch, Cat: "msg", Ph: "i",
+		TS: c.us(at), PID: toCore, TID: 0,
+		Args: map[string]any{"from_core": fromCore},
+	})
+}
+
+// Exit implements core.Tracer: thread tid died.
+func (c *Collector) Exit(tid int, name string, at sim.Time, abnormal bool) {
+	cat := "exit"
+	if abnormal {
+		cat = "crash"
+	}
+	c.add(Event{
+		Name: name + ".exit", Cat: cat, Ph: "i",
+		TS: c.us(at), PID: 0, TID: tid,
+		Args: map[string]any{"abnormal": abnormal},
+	})
+}
+
+// Counter records a named sample series (queue depths, utilisation...).
+func (c *Collector) Counter(name string, at sim.Time, value float64) {
+	c.add(Event{
+		Name: name, Ph: "C", TS: c.us(at), PID: 0, TID: 0,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// WriteJSON emits the Chrome trace-event array form.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c.events)
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func TestCollectorJSONShape(t *testing.T) {
+	c := New(2_000_000_000)
+	c.RunSegment(1, "worker", 3, 2000, 6000)
+	c.Message("jobs", 0, 3, 6000)
+	c.Exit(1, "worker", 8000, true)
+	c.Counter("queue", 8000, 5)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["name"] != "worker" {
+		t.Fatalf("segment event wrong: %v", events[0])
+	}
+	// 2000 cycles at 2 GHz = 1 µs.
+	if ts := events[0]["ts"].(float64); ts != 1 {
+		t.Fatalf("ts = %v µs, want 1", ts)
+	}
+	if dur := events[0]["dur"].(float64); dur != 2 {
+		t.Fatalf("dur = %v µs, want 2", dur)
+	}
+	if events[2]["args"].(map[string]any)["abnormal"] != true {
+		t.Fatal("crash not marked abnormal")
+	}
+}
+
+func TestCollectorCapDrops(t *testing.T) {
+	c := New(2_000_000_000)
+	c.Cap = 2
+	for i := 0; i < 5; i++ {
+		c.Counter("x", sim.Time(i), 0)
+	}
+	if c.Len() != 2 || c.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d", c.Len(), c.Dropped)
+	}
+}
+
+func TestZeroLengthSegmentSkipped(t *testing.T) {
+	c := New(2_000_000_000)
+	c.RunSegment(1, "w", 0, 100, 100)
+	if c.Len() != 0 {
+		t.Fatal("empty segment recorded")
+	}
+}
+
+// TestRuntimeIntegration runs a small program under tracing and checks
+// that segments, messages and exits all appear.
+func TestRuntimeIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(4))
+	col := New(m.P.CyclesPerSec)
+	rt := core.NewRuntime(m, core.Config{Seed: 61, Tracer: col})
+	defer rt.Shutdown()
+
+	ch := rt.NewChan("jobs", 0)
+	rt.Boot("producer", func(th *core.Thread) {
+		for i := 0; i < 3; i++ {
+			th.Compute(1000)
+			ch.Send(th, i)
+		}
+	}, core.OnCore(0))
+	rt.Boot("consumer", func(th *core.Thread) {
+		for i := 0; i < 3; i++ {
+			ch.Recv(th)
+			th.Compute(500)
+		}
+	}, core.OnCore(1))
+	rt.Run()
+
+	var buf bytes.Buffer
+	if err := col.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	var segs, msgs, exits int
+	for _, ev := range events {
+		switch ev.Cat {
+		case "run":
+			segs++
+			if ev.Dur <= 0 {
+				t.Fatalf("non-positive segment: %+v", ev)
+			}
+		case "msg":
+			msgs++
+			if ev.Name != "jobs" {
+				t.Fatalf("message on unexpected channel %q", ev.Name)
+			}
+		case "exit", "crash":
+			exits++
+		}
+	}
+	if segs == 0 || msgs != 3 || exits != 2 {
+		t.Fatalf("segments=%d msgs=%d exits=%d", segs, msgs, exits)
+	}
+}
+
+// Tracing must not change simulated behaviour.
+func TestTracingIsBehaviourNeutral(t *testing.T) {
+	run := func(tr core.Tracer) sim.Time {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.DefaultParams(8))
+		rt := core.NewRuntime(m, core.Config{Seed: 77, Tracer: tr})
+		defer rt.Shutdown()
+		ch := rt.NewChan("c", 4)
+		rt.Boot("a", func(th *core.Thread) {
+			for i := 0; i < 20; i++ {
+				ch.Send(th, i)
+				th.Compute(300)
+			}
+			ch.Close(th)
+		})
+		rt.Boot("b", func(th *core.Thread) {
+			for {
+				if _, ok := ch.Recv(th); !ok {
+					return
+				}
+				th.Compute(700)
+			}
+		})
+		rt.Run()
+		return eng.Now()
+	}
+	if run(nil) != run(New(2_000_000_000)) {
+		t.Fatal("tracing changed virtual timing")
+	}
+}

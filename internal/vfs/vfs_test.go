@@ -1,0 +1,412 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"chanos/internal/blockdev"
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func TestGeometry(t *testing.T) {
+	sb, err := Geometry(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Magic != Magic {
+		t.Fatal("bad magic")
+	}
+	if sb.CGCount == 0 {
+		t.Fatal("no cylinder groups")
+	}
+	if int(sb.DataStart) != 1+int(sb.InodeBlocks) {
+		t.Fatalf("data start %d, inode blocks %d", sb.DataStart, sb.InodeBlocks)
+	}
+	if _, err := Geometry(4, 0); err == nil {
+		t.Fatal("tiny disk accepted")
+	}
+}
+
+func TestSuperEncodeDecode(t *testing.T) {
+	sb, _ := Geometry(4096, 512)
+	b := make([]byte, BlockSize)
+	sb.encode(b)
+	got := decodeSuper(b)
+	if got != sb {
+		t.Fatalf("superblock roundtrip: %+v != %+v", got, sb)
+	}
+}
+
+func TestInodeRoundTripProperty(t *testing.T) {
+	f := func(mode, nlink uint16, size uint32, d0, d5 uint32) bool {
+		in := Inode{Mode: mode, Nlink: nlink, Size: size}
+		in.Direct[0] = d0
+		in.Direct[5] = d5
+		b := make([]byte, InodeSize)
+		in.encode(b)
+		return decodeInode(b) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirentRoundTrip(t *testing.T) {
+	b := make([]byte, DirentSize)
+	encodeDirent(b, dirent{ino: 42, name: "hello.txt"})
+	d := decodeDirent(b)
+	if d.ino != 42 || d.name != "hello.txt" {
+		t.Fatalf("dirent roundtrip: %+v", d)
+	}
+}
+
+// memCtx builds an operation context over the in-memory store (no
+// simulation required for pure-logic tests, but a thread is still needed
+// for the API; we use a tiny runtime).
+func memCtx(t *testing.T) (*core.Runtime, func(th *core.Thread) (Ctx, Super)) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(2))
+	rt := core.NewRuntime(m, core.Config{Seed: 31})
+	t.Cleanup(rt.Shutdown)
+	return rt, func(th *core.Thread) (Ctx, Super) {
+		st := NewMemStore()
+		sb, err := Mkfs(th, st, 2048, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := Ctx{SB: &sb, St: st, In: NewRawInodeStore(&sb, st), Al: newBitmapAlloc(&sb, st)}
+		return x, sb
+	}
+}
+
+func TestFsopsCreateLookupRemove(t *testing.T) {
+	rt, mk := memCtx(t)
+	rt.Boot("test", func(th *core.Thread) {
+		x, _ := mk(th)
+		ino, err := x.CreateEntry(th, RootIno, "file.txt", ModeFile)
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		got, err := x.DirLookup(th, RootIno, "file.txt")
+		if err != nil || got != ino {
+			t.Errorf("lookup = %d,%v want %d", got, err, ino)
+		}
+		if _, err := x.CreateEntry(th, RootIno, "file.txt", ModeFile); !errors.Is(err, ErrExists) {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if err := x.RemoveEntry(th, RootIno, "file.txt"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if _, err := x.DirLookup(th, RootIno, "file.txt"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("lookup after remove: %v", err)
+		}
+	})
+	rt.Run()
+}
+
+func TestFsopsFileReadWrite(t *testing.T) {
+	rt, mk := memCtx(t)
+	rt.Boot("test", func(th *core.Thread) {
+		x, _ := mk(th)
+		ino, _ := x.CreateEntry(th, RootIno, "data", ModeFile)
+		payload := bytes.Repeat([]byte("chanos"), 1000) // 6000 bytes, 2 blocks
+		if err := x.FileWrite(th, ino, 0, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		back, err := x.FileRead(th, ino, 0, len(payload))
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Errorf("read back mismatch (err %v, %d bytes)", err, len(back))
+		}
+		// Partial read across a block boundary.
+		mid, _ := x.FileRead(th, ino, 4090, 12)
+		if !bytes.Equal(mid, payload[4090:4102]) {
+			t.Error("offset read mismatch")
+		}
+		// Size via stat.
+		in, _ := x.Stat(th, ino)
+		if int(in.Size) != len(payload) {
+			t.Errorf("size = %d want %d", in.Size, len(payload))
+		}
+		// Overwrite in place.
+		if err := x.FileWrite(th, ino, 2, []byte("XYZ")); err != nil {
+			t.Errorf("overwrite: %v", err)
+		}
+		b2, _ := x.FileRead(th, ino, 0, 8)
+		if string(b2) != "chXYZsch"[:8] {
+			t.Errorf("after overwrite: %q", b2)
+		}
+	})
+	rt.Run()
+}
+
+func TestFsopsHolesAndLimits(t *testing.T) {
+	rt, mk := memCtx(t)
+	rt.Boot("test", func(th *core.Thread) {
+		x, _ := mk(th)
+		ino, _ := x.CreateEntry(th, RootIno, "sparse", ModeFile)
+		// Write at offset 2 blocks: blocks 0-1 are holes.
+		if err := x.FileWrite(th, ino, 2*BlockSize, []byte("end")); err != nil {
+			t.Errorf("sparse write: %v", err)
+		}
+		hole, _ := x.FileRead(th, ino, 0, 16)
+		for _, b := range hole {
+			if b != 0 {
+				t.Error("hole not zero")
+			}
+		}
+		// Exceed max file size.
+		if err := x.FileWrite(th, ino, NDirect*BlockSize-1, []byte("xx")); !errors.Is(err, ErrTooBig) {
+			t.Errorf("too-big write: %v", err)
+		}
+	})
+	rt.Run()
+}
+
+func TestFsopsDirectoriesAndNotEmpty(t *testing.T) {
+	rt, mk := memCtx(t)
+	rt.Boot("test", func(th *core.Thread) {
+		x, _ := mk(th)
+		dir, err := x.CreateEntry(th, RootIno, "sub", ModeDir)
+		if err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+		if _, err := x.CreateEntry(th, dir, "inner", ModeFile); err != nil {
+			t.Errorf("create in subdir: %v", err)
+		}
+		if err := x.RemoveEntry(th, RootIno, "sub"); !errors.Is(err, ErrNotEmpty) {
+			t.Errorf("remove non-empty dir: %v", err)
+		}
+		if err := x.RemoveEntry(th, dir, "inner"); err != nil {
+			t.Errorf("remove inner: %v", err)
+		}
+		if err := x.RemoveEntry(th, RootIno, "sub"); err != nil {
+			t.Errorf("remove emptied dir: %v", err)
+		}
+		// Lookup through a file is ErrNotDir.
+		f, _ := x.CreateEntry(th, RootIno, "plain", ModeFile)
+		if _, err := x.DirLookup(th, f, "x"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("lookup in file: %v", err)
+		}
+	})
+	rt.Run()
+}
+
+func TestAllocatorExhaustionAndReuse(t *testing.T) {
+	rt, _ := memCtx(t)
+	rt.Boot("test", func(th *core.Thread) {
+		st := NewMemStore()
+		// Small fs: few CGs.
+		sb, err := Mkfs(th, st, 200, 64)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		al := newBitmapAlloc(&sb, st)
+		var got []int
+		for {
+			blk, err := al.AllocBlock(th, -1)
+			if err != nil {
+				break
+			}
+			got = append(got, blk)
+		}
+		want := int(sb.CGCount) * (CGSize - 1)
+		if len(got) != want {
+			t.Errorf("allocated %d blocks, want %d", len(got), want)
+		}
+		seen := map[int]bool{}
+		for _, b := range got {
+			if seen[b] {
+				t.Errorf("block %d allocated twice", b)
+			}
+			seen[b] = true
+		}
+		// Free one, realloc gets it back eventually.
+		al.FreeBlock(th, got[3])
+		blk, err := al.AllocBlock(th, -1)
+		if err != nil || blk != got[3] {
+			t.Errorf("realloc = %d,%v want %d", blk, err, got[3])
+		}
+	})
+	rt.Run()
+}
+
+// --- frontend scenario tests ---
+
+type fsFixture struct {
+	rt  *core.Runtime
+	eng *sim.Engine
+}
+
+func newFixture(t *testing.T, cores int) *fsFixture {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 37})
+	t.Cleanup(rt.Shutdown)
+	return &fsFixture{rt: rt, eng: eng}
+}
+
+// buildFS formats a disk and constructs the named frontend from inside a
+// thread, handing it to run.
+func buildFS(t *testing.T, kind string, cores int, run func(th *core.Thread, fs FS)) {
+	fx := newFixture(t, cores)
+	disk := blockdev.NewDisk(fx.rt, blockdev.DefaultDiskParams(4096))
+	drv := blockdev.NewDriver(fx.rt, disk, 64, 0)
+	fx.rt.Boot("main", func(th *core.Thread) {
+		sb, err := Format(th, drv, 4096, 512)
+		if err != nil {
+			t.Errorf("format: %v", err)
+			return
+		}
+		var fs FS
+		switch kind {
+		case "msg":
+			fs = NewMsgFS(fx.rt, drv, sb, MsgFSConfig{})
+		case "biglock":
+			fs = NewLockFS(fx.rt, drv, sb, LockFSConfig{Mode: LockModeBig})
+		case "shardlock":
+			fs = NewLockFS(fx.rt, drv, sb, LockFSConfig{Mode: LockModeShard})
+		}
+		run(th, fs)
+	})
+	fx.rt.Run()
+}
+
+func scenario(t *testing.T, th *core.Thread, fs FS) {
+	if _, err := fs.Mkdir(th, "/home"); err != nil {
+		t.Errorf("mkdir /home: %v", err)
+		return
+	}
+	if _, err := fs.Create(th, "/home/readme"); err != nil {
+		t.Errorf("create: %v", err)
+		return
+	}
+	msg := []byte("the lightweight channels model")
+	if err := fs.Write(th, "/home/readme", 0, msg); err != nil {
+		t.Errorf("write: %v", err)
+		return
+	}
+	back, err := fs.Read(th, "/home/readme", 0, len(msg))
+	if err != nil || !bytes.Equal(back, msg) {
+		t.Errorf("read: %v %q", err, back)
+	}
+	in, err := fs.Stat(th, "/home/readme")
+	if err != nil || int(in.Size) != len(msg) || in.Mode != ModeFile {
+		t.Errorf("stat: %v %+v", err, in)
+	}
+	names, err := fs.ReadDir(th, "/home")
+	if err != nil || len(names) != 1 || names[0] != "readme" {
+		t.Errorf("readdir: %v %v", err, names)
+	}
+	if _, err := fs.Lookup(th, "/home/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing lookup: %v", err)
+	}
+	if err := fs.Unlink(th, "/home/readme"); err != nil {
+		t.Errorf("unlink: %v", err)
+	}
+	if _, err := fs.Lookup(th, "/home/readme"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup after unlink: %v", err)
+	}
+}
+
+func TestFrontendScenario(t *testing.T) {
+	for _, kind := range []string{"msg", "biglock", "shardlock"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			buildFS(t, kind, 16, func(th *core.Thread, fs FS) { scenario(t, th, fs) })
+		})
+	}
+}
+
+func TestConcurrentClientsDistinctFiles(t *testing.T) {
+	for _, kind := range []string{"msg", "biglock", "shardlock"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			buildFS(t, kind, 16, func(th *core.Thread, fs FS) {
+				const n = 8
+				done := th.Runtime().NewChan("done", n)
+				for i := 0; i < n; i++ {
+					i := i
+					th.Spawn("client", func(ct *core.Thread) {
+						dir := fmt.Sprintf("/d%d", i)
+						if _, err := fs.Mkdir(ct, dir); err != nil {
+							t.Errorf("mkdir %s: %v", dir, err)
+						}
+						for j := 0; j < 5; j++ {
+							p := fmt.Sprintf("%s/f%d", dir, j)
+							if _, err := fs.Create(ct, p); err != nil {
+								t.Errorf("create %s: %v", p, err)
+							}
+							if err := fs.Write(ct, p, 0, []byte(p)); err != nil {
+								t.Errorf("write %s: %v", p, err)
+							}
+						}
+						done.Send(ct, 1)
+					})
+				}
+				for i := 0; i < n; i++ {
+					done.Recv(th)
+				}
+				// Verify all content.
+				for i := 0; i < n; i++ {
+					for j := 0; j < 5; j++ {
+						p := fmt.Sprintf("/d%d/f%d", i, j)
+						b, err := fs.Read(th, p, 0, 64)
+						if err != nil || string(b) != p {
+							t.Errorf("verify %s: %v %q", p, err, b)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestMsgFSVnodeThreadsSpawned(t *testing.T) {
+	buildFS(t, "msg", 16, func(th *core.Thread, fs FS) {
+		m := fs.(*MsgFS)
+		fs.Mkdir(th, "/a")
+		fs.Create(th, "/a/b")
+		fs.Stat(th, "/a/b")
+		if m.VnodesSpawned < 3 { // root, /a, /a/b
+			t.Errorf("vnodes spawned = %d, want >= 3", m.VnodesSpawned)
+		}
+	})
+}
+
+func TestCacheReducesDiskReads(t *testing.T) {
+	buildFS(t, "msg", 8, func(th *core.Thread, fs FS) {
+		m := fs.(*MsgFS)
+		fs.Create(th, "/hot")
+		fs.Write(th, "/hot", 0, []byte("data"))
+		for i := 0; i < 50; i++ {
+			fs.Read(th, "/hot", 0, 4)
+		}
+		cs := m.CacheStats()
+		if cs.Hits < 10*cs.Misses {
+			t.Errorf("cache ineffective: %+v", cs)
+		}
+	})
+}
+
+func TestSplitPath(t *testing.T) {
+	if c, err := splitPath("/a/b/c"); err != nil || len(c) != 3 {
+		t.Fatalf("splitPath: %v %v", c, err)
+	}
+	if c, err := splitPath("/"); err != nil || len(c) != 0 {
+		t.Fatalf("splitPath /: %v %v", c, err)
+	}
+	if _, err := splitPath("relative"); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	long := "/" + string(bytes.Repeat([]byte{'x'}, MaxName+1))
+	if _, err := splitPath(long); !errors.Is(err, ErrNameLen) {
+		t.Fatalf("long name: %v", err)
+	}
+}

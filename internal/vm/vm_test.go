@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+func newRT(t *testing.T, cores int) *core.Runtime {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: 41})
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestTouchFaultsThenHits(t *testing.T) {
+	for _, g := range []Granularity{LibOS, OneServer, PerRegion, PerPage} {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			rt := newRT(t, 8)
+			v := New(rt, Config{Gran: g, PhysPages: 256, AddrPages: 64})
+			var firstCost, secondCost sim.Time
+			rt.Boot("app", func(th *core.Thread) {
+				tl := NewTLB()
+				s := th.Now()
+				if err := v.Touch(th, tl, 5); err != nil {
+					t.Errorf("touch: %v", err)
+				}
+				firstCost = th.Now() - s
+				s = th.Now()
+				if err := v.Touch(th, tl, 5); err != nil {
+					t.Errorf("re-touch: %v", err)
+				}
+				secondCost = th.Now() - s
+				v.Stop(th)
+			})
+			rt.Run()
+			if secondCost >= firstCost {
+				t.Fatalf("TLB hit (%d) not cheaper than fault (%d)", secondCost, firstCost)
+			}
+			if v.Faults != 1 {
+				t.Fatalf("faults = %d, want 1", v.Faults)
+			}
+		})
+	}
+}
+
+func TestThreadCountsByGranularity(t *testing.T) {
+	rt := newRT(t, 4)
+	one := New(rt, Config{Gran: OneServer, PhysPages: 1024, AddrPages: 1024})
+	reg := New(rt, Config{Gran: PerRegion, PhysPages: 1024, AddrPages: 1024, RegionPages: 128})
+	pp := New(rt, Config{Gran: PerPage, PhysPages: 1024, AddrPages: 256})
+	lib := New(rt, Config{Gran: LibOS, PhysPages: 1024, AddrPages: 1024})
+	if lib.ServerThreads != 0 {
+		t.Fatalf("libos threads = %d", lib.ServerThreads)
+	}
+	if one.ServerThreads >= reg.ServerThreads || reg.ServerThreads >= pp.ServerThreads {
+		t.Fatalf("thread counts not ordered: %d %d %d",
+			one.ServerThreads, reg.ServerThreads, pp.ServerThreads)
+	}
+	if pp.ServerThreads < 256 {
+		t.Fatalf("per-page threads = %d, want >= 256", pp.ServerThreads)
+	}
+}
+
+func TestFrameExhaustion(t *testing.T) {
+	rt := newRT(t, 4)
+	v := New(rt, Config{Gran: OneServer, PhysPages: 8, AddrPages: 64, FrameShards: 1})
+	var got error
+	rt.Boot("app", func(th *core.Thread) {
+		tl := NewTLB()
+		for p := uint64(0); p < 20; p++ {
+			if err := v.Touch(th, tl, p); err != nil {
+				got = err
+				break
+			}
+		}
+		v.Stop(th)
+	})
+	rt.Run()
+	if !errors.Is(got, ErrNoFrames) {
+		t.Fatalf("exhaustion error = %v", got)
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	rt := newRT(t, 8)
+	v := New(rt, Config{Gran: PerRegion, PhysPages: 1024, AddrPages: 512, RegionPages: 64})
+	frames := map[uint32]uint64{}
+	rt.Boot("app", func(th *core.Thread) {
+		tl := NewTLB()
+		for p := uint64(0); p < 100; p++ {
+			if err := v.Touch(th, tl, p); err != nil {
+				t.Errorf("touch %d: %v", p, err)
+			}
+		}
+		for vp, f := range tl.m {
+			if prev, dup := frames[f]; dup {
+				t.Errorf("frame %d mapped to both page %d and %d", f, prev, vp)
+			}
+			frames[f] = vp
+		}
+		v.Stop(th)
+	})
+	rt.Run()
+	if len(frames) != 100 {
+		t.Fatalf("mapped %d frames, want 100", len(frames))
+	}
+}
+
+func TestConcurrentClientsSharedService(t *testing.T) {
+	rt := newRT(t, 16)
+	v := New(rt, Config{Gran: PerRegion, PhysPages: 4096, AddrPages: 2048, RegionPages: 256})
+	done := rt.NewChan("done", 8)
+	rt.Boot("main", func(th *core.Thread) {
+		for i := 0; i < 8; i++ {
+			i := i
+			th.Spawn("client", func(ct *core.Thread) {
+				tl := NewTLB()
+				base := uint64(i * 200)
+				for p := uint64(0); p < 100; p++ {
+					if err := v.Touch(ct, tl, base+p); err != nil {
+						t.Errorf("client %d: %v", i, err)
+					}
+				}
+				done.Send(ct, 1)
+			})
+		}
+		for i := 0; i < 8; i++ {
+			done.Recv(th)
+		}
+		v.Stop(th)
+	})
+	rt.Run()
+	if v.Faults != 800 {
+		t.Fatalf("faults = %d, want 800", v.Faults)
+	}
+}
