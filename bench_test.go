@@ -49,6 +49,10 @@ func BenchmarkE11Choice(b *testing.B)           { benchExperiment(b, "E11") }
 func BenchmarkE12CopySemantics(b *testing.B)    { benchExperiment(b, "E12") }
 func BenchmarkE13VMCluster(b *testing.B)        { benchExperiment(b, "E13") }
 
+// BenchmarkNetstack is the headline traffic-serving benchmark: the full
+// E14 netstack scaling experiment (cores and shard sweeps).
+func BenchmarkNetstack(b *testing.B) { benchExperiment(b, "E14") }
+
 // Ablations (design-choice knobs called out in DESIGN.md).
 
 func BenchmarkA1MsgCostSensitivity(b *testing.B)  { benchExperiment(b, "A1") }

@@ -23,7 +23,9 @@ package chanos
 
 import (
 	"chanos/internal/core"
+	"chanos/internal/kernel"
 	"chanos/internal/machine"
+	"chanos/internal/net"
 	"chanos/internal/sim"
 )
 
@@ -54,6 +56,38 @@ const (
 	RecvDir = core.RecvDir
 	SendDir = core.SendDir
 )
+
+// Re-exported network types (internal/net): the sockets-as-channels
+// stack. A Listener is an accept channel, a Conn is a receive channel
+// plus sends routed to the connection's netstack shard.
+type (
+	// Conn is one network connection viewed from the serving side.
+	Conn = net.Conn
+	// Listener accepts connections as messages.
+	Listener = net.Listener
+	// NetStack is the connection-sharded netstack kernel service.
+	NetStack = net.Stack
+	// Network is the simulated wire plus its remote peers.
+	Network = net.Network
+	// NIC is the simulated multi-queue network device.
+	NIC = machine.NIC
+)
+
+// NewNIC attaches a multi-queue NIC to the system's machine (one RX/TX
+// queue pair per core by default).
+func (s *System) NewNIC(p machine.NICParams) *NIC {
+	return machine.NewNIC(s.M, p)
+}
+
+// NewNetwork builds the simulated wire over a NIC.
+func (s *System) NewNetwork(nic *NIC, p net.WireParams) *Network {
+	return net.NewNetwork(s.Eng, nic, p)
+}
+
+// NewNetStack registers the connection-sharded netstack service on k.
+func (s *System) NewNetStack(k *kernel.Kernel, nic *NIC, p net.StackParams) *NetStack {
+	return net.NewStack(s.RT, k, nic, p)
+}
 
 // OnCore pins a spawned thread to a core.
 func OnCore(c int) SpawnOpt { return core.OnCore(c) }

@@ -5,7 +5,7 @@
 //
 //	chanos-bench -list
 //	chanos-bench -run E1 [-seed 7] [-quick] [-csv]
-//	chanos-bench -all
+//	chanos-bench [-quick]    (full suite)
 package main
 
 import (
@@ -19,13 +19,18 @@ import (
 func main() {
 	var (
 		list  = flag.Bool("list", false, "list experiments")
-		runID = flag.String("run", "", "run one experiment by id (E1..E13, A1..A4)")
+		runID = flag.String("run", "", "run one experiment by id (E1..E14, A1..A4)")
 		all   = flag.Bool("all", false, "run every experiment")
 		quick = flag.Bool("quick", false, "reduced sweeps and windows")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "chanos-bench: unexpected argument %q (did you mean -run %s?)\n",
+			flag.Arg(0), flag.Arg(0))
+		os.Exit(2)
+	}
 
 	o := exp.Options{Seed: *seed, Quick: *quick}
 
@@ -42,12 +47,13 @@ func main() {
 		}
 		emit(e, o, *csv)
 	case *all:
+		fallthrough
+	default:
+		// -all, or bare invocation (with or without -quick/-seed): the
+		// full suite.
 		for _, e := range exp.All() {
 			emit(e, o, *csv)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
 	}
 }
 

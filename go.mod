@@ -1,0 +1,3 @@
+module chanos
+
+go 1.24

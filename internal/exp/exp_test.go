@@ -216,11 +216,33 @@ func TestE10TableFlagsSeededBugs(t *testing.T) {
 	}
 }
 
+// --- E14: netstack scaling ---
+
+func TestE14NetstackScalesWithCoresAndShards(t *testing.T) {
+	window := sim.Time(4_000_000)
+	at4 := e14Run(q, 4, 0, 96, window)
+	at16 := e14Run(q, 16, 0, 96, window)
+	at64 := e14Run(q, 64, 0, 96, window)
+	if !(at4.connsPerSec < at16.connsPerSec && at16.connsPerSec < at64.connsPerSec) {
+		t.Fatalf("conns/sec should grow with cores: %.0f @4, %.0f @16, %.0f @64",
+			at4.connsPerSec, at16.connsPerSec, at64.connsPerSec)
+	}
+	if at64.p99Us >= at4.p99Us {
+		t.Fatalf("p99 should shrink with cores: %.1fus @4 vs %.1fus @64", at4.p99Us, at64.p99Us)
+	}
+	one := e14Run(q, 64, 1, 96, window)
+	two := e14Run(q, 64, 2, 96, window)
+	if two.reqsPerSec < one.reqsPerSec {
+		t.Fatalf("2 shards (%.0f req/s) should serve at least 1 shard (%.0f req/s)",
+			two.reqsPerSec, one.reqsPerSec)
+	}
+}
+
 // --- registry and full-suite smoke ---
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
-		"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E14", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

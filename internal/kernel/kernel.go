@@ -146,8 +146,18 @@ func (k *Kernel) nextKernelCore() int {
 }
 
 // Register creates a service with the given shard count (0 = one shard
-// per kernel core) and starts its handler threads on kernel cores.
+// per kernel core) and starts its handler threads on kernel cores. Every
+// shard runs the same handler; services whose shards carry private state
+// (e.g. the netstack's per-shard connection tables) use RegisterEach.
 func (k *Kernel) Register(name string, shards int, h Handler) *Service {
+	return k.RegisterEach(name, shards, func(int) Handler { return h })
+}
+
+// RegisterEach creates a sharded service where mk(i) builds the handler
+// for shard i. Because each shard is a single thread, state owned by its
+// handler closure needs no locks — per-object serialisation falls out of
+// the routing, which is the paper's whole point.
+func (k *Kernel) RegisterEach(name string, shards int, mk func(shard int) Handler) *Service {
 	if _, dup := k.services[name]; dup {
 		panic(fmt.Sprintf("kernel: duplicate service %q", name))
 	}
@@ -158,6 +168,7 @@ func (k *Kernel) Register(name string, shards int, h Handler) *Service {
 	for i := 0; i < shards; i++ {
 		ch := k.RT.NewChan(fmt.Sprintf("%s.%d", name, i), k.SyscallQueueDepth)
 		s.shards = append(s.shards, ch)
+		h := mk(i)
 		tn := fmt.Sprintf("ksvc:%s.%d", name, i)
 		th := k.RT.Boot(tn, func(t *core.Thread) {
 			for {

@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"fmt"
+
+	"chanos/internal/sim"
+)
+
+// NICParams models a multi-queue network interface of the kind the paper
+// assumes future hardware will provide natively ("native support for
+// sending and receiving messages"): per-core RX/TX queue pairs, so the
+// device itself never forces cross-core serialisation. Costs are in CPU
+// cycles on the 2 GHz machine.
+type NICParams struct {
+	Queues int // RX/TX queue pairs; 0 = one per core
+
+	TxDMACycles   uint64 // host cycles to program a TX descriptor (charged by the caller)
+	FrameBase     uint64 // fixed serialisation cost per frame on a TX queue
+	CyclesPerByte uint64 // wire serialisation cost per payload byte
+	RxDMACycles   uint64 // device latency from wire arrival to host-visible frame
+	RxQueueDepth  int    // frames buffered per RX queue before the device drops
+}
+
+// DefaultNICParams models a 10GbE-class multi-queue NIC: ~0.3 µs TX
+// descriptor programming, ~2 cycles/byte serialisation (≈1 GB/s), ~0.75 µs
+// RX DMA + IRQ dispatch. RX rings are kept short (64 descriptors) on
+// purpose: when the stack falls behind, excess arrivals must die at the
+// device — otherwise queued receive work starves transmit work and the
+// machine does nothing useful (receive livelock).
+func DefaultNICParams(queues int) NICParams {
+	return NICParams{
+		Queues:        queues,
+		TxDMACycles:   600,
+		FrameBase:     300,
+		CyclesPerByte: 2,
+		RxDMACycles:   1500,
+		RxQueueDepth:  64,
+	}
+}
+
+// Frame is one unit of NIC transfer: an opaque payload plus its simulated
+// wire size. Queue selects the RX/TX queue pair it travels on.
+type Frame struct {
+	Queue   int
+	Bytes   int
+	Payload any
+}
+
+// NIC is the simulated device. The host side (a network stack) registers
+// an OnReceive handler and calls Transmit/RxDone; the wire side (a
+// simulated network) registers OnTransmit and calls Arrive. All callbacks
+// run in engine context at the modelled completion times.
+type NIC struct {
+	m *Machine
+	P NICParams
+
+	txBusyUntil []sim.Time // per TX queue: the wire is serial per queue
+	rxOcc       []int      // per RX queue: descriptors in flight to the host
+	rx          func(queue int, f Frame)
+	wire        func(f Frame)
+
+	// Stats.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	RxDrops            uint64
+}
+
+// NewNIC attaches a NIC to machine m. Zero-valued fields take the
+// DefaultNICParams calibration; Queues defaults to one pair per core.
+func NewNIC(m *Machine, p NICParams) *NIC {
+	if p.Queues <= 0 {
+		p.Queues = m.NumCores()
+	}
+	def := DefaultNICParams(p.Queues)
+	if p.TxDMACycles == 0 {
+		p.TxDMACycles = def.TxDMACycles
+	}
+	if p.FrameBase == 0 {
+		p.FrameBase = def.FrameBase
+	}
+	if p.CyclesPerByte == 0 {
+		p.CyclesPerByte = def.CyclesPerByte
+	}
+	if p.RxDMACycles == 0 {
+		p.RxDMACycles = def.RxDMACycles
+	}
+	if p.RxQueueDepth <= 0 {
+		p.RxQueueDepth = def.RxQueueDepth
+	}
+	return &NIC{
+		m:           m,
+		P:           p,
+		txBusyUntil: make([]sim.Time, p.Queues),
+		rxOcc:       make([]int, p.Queues),
+	}
+}
+
+// Queues returns the number of RX/TX queue pairs.
+func (n *NIC) Queues() int { return n.P.Queues }
+
+// QueueFor hashes a flow key onto an RX queue — the device's RSS
+// (receive-side scaling) function, which keeps one connection's packets
+// on one queue and spreads distinct connections across queues.
+func (n *NIC) QueueFor(key int) int {
+	if key < 0 {
+		key = -key
+	}
+	return key % n.P.Queues
+}
+
+// OnReceive registers the host handler invoked (engine context) when a
+// frame is DMAed into an RX queue.
+func (n *NIC) OnReceive(fn func(queue int, f Frame)) { n.rx = fn }
+
+// OnTransmit registers the wire handler invoked (engine context) when a
+// frame finishes serialising out of a TX queue.
+func (n *NIC) OnTransmit(fn func(f Frame)) { n.wire = fn }
+
+// Transmit hands a frame to TX queue f.Queue. Serialisation is FIFO per
+// queue (independent queues never contend); the frame reaches the wire
+// when its serialisation completes. The TxDMACycles descriptor cost is
+// the caller's to charge (it is host CPU work, not device work).
+func (n *NIC) Transmit(f Frame) {
+	if f.Queue < 0 || f.Queue >= n.P.Queues {
+		panic(fmt.Sprintf("machine: TX on invalid NIC queue %d", f.Queue))
+	}
+	cost := n.P.FrameBase + uint64(f.Bytes)*n.P.CyclesPerByte
+	start := n.m.Eng.Now()
+	if n.txBusyUntil[f.Queue] > start {
+		start = n.txBusyUntil[f.Queue]
+	}
+	end := start + cost
+	n.txBusyUntil[f.Queue] = end
+	n.TxFrames++
+	n.TxBytes += uint64(f.Bytes)
+	n.m.Eng.At(end, func() {
+		if n.wire != nil {
+			n.wire(f)
+		}
+	})
+}
+
+// Arrive delivers a frame from the wire into RX queue f.Queue. A full
+// ring drops the frame (the overload behaviour real NICs have); otherwise
+// the host handler fires RxDMACycles later. The descriptor stays occupied
+// until the host calls RxDone, so a stack that falls behind sheds load at
+// the device instead of queueing unboundedly.
+func (n *NIC) Arrive(f Frame) {
+	if f.Queue < 0 || f.Queue >= n.P.Queues {
+		panic(fmt.Sprintf("machine: RX on invalid NIC queue %d", f.Queue))
+	}
+	if n.rxOcc[f.Queue] >= n.P.RxQueueDepth {
+		n.RxDrops++
+		return
+	}
+	n.rxOcc[f.Queue]++
+	n.RxFrames++
+	n.RxBytes += uint64(f.Bytes)
+	n.m.Eng.After(n.P.RxDMACycles, func() {
+		if n.rx != nil {
+			n.rx(f.Queue, f)
+		}
+	})
+}
+
+// RxDone returns one RX descriptor on queue q to the device (the host has
+// consumed the frame).
+func (n *NIC) RxDone(q int) {
+	if q < 0 || q >= n.P.Queues {
+		panic(fmt.Sprintf("machine: RxDone on invalid NIC queue %d", q))
+	}
+	if n.rxOcc[q] > 0 {
+		n.rxOcc[q]--
+	}
+}
+
+// RxOccupancy returns the descriptors currently in flight on RX queue q.
+func (n *NIC) RxOccupancy(q int) int { return n.rxOcc[q] }

@@ -1,0 +1,118 @@
+package net
+
+import (
+	"chanos/internal/core"
+	"chanos/internal/sim"
+	"chanos/internal/stats"
+)
+
+// ClientParams describes a pool of closed-loop request/response clients:
+// each client dials, exchanges ReqsPerConn request/response pairs with
+// think time between them, closes, thinks, and dials again — the
+// "serving heavy traffic" workload shape, driven entirely from the wire
+// side so the measured machine pays only for serving.
+type ClientParams struct {
+	Port        int
+	Clients     int
+	ReqsPerConn int
+	// ThinkCycles is the mean think time between requests (and between
+	// connections); actual draws are uniform in [T/2, 3T/2). 0 = none.
+	ThinkCycles uint64
+	// MakeReq builds request payloads; nil sends the request index with
+	// a 128-byte wire size.
+	MakeReq func(client, req int) (payload core.Msg, bytes int)
+	Seed    uint64
+}
+
+// ClientPool runs the client fleet and accumulates results.
+type ClientPool struct {
+	net *Network
+	p   ClientParams
+
+	// Stats.
+	Completed uint64 // connections fully closed
+	Responses uint64
+	Failed    uint64          // connection attempts abandoned after retries
+	Lat       stats.Histogram // request → response latency, cycles
+}
+
+// NewClientPool starts the fleet; clients begin dialling immediately
+// with deterministic, seed-staggered think offsets.
+func NewClientPool(n *Network, p ClientParams) *ClientPool {
+	if p.Clients <= 0 {
+		p.Clients = 1
+	}
+	if p.ReqsPerConn <= 0 {
+		p.ReqsPerConn = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	cp := &ClientPool{net: n, p: p}
+	for i := 0; i < p.Clients; i++ {
+		rng := sim.NewRNG(p.Seed + uint64(i)*0x9e3779b9)
+		// Stagger the initial dials so the fleet does not arrive in
+		// lockstep on cycle zero.
+		n.Eng.After(cp.think(rng), func() { cp.dial(i, rng) })
+	}
+	return cp
+}
+
+func (cp *ClientPool) think(rng *sim.RNG) uint64 {
+	t := cp.p.ThinkCycles
+	if t == 0 {
+		return 1 // keep event ordering sane without modelling think time
+	}
+	return t/2 + rng.Uint64n(t)
+}
+
+func (cp *ClientPool) makeReq(client, req int) (core.Msg, int) {
+	if cp.p.MakeReq != nil {
+		return cp.p.MakeReq(client, req)
+	}
+	return req, 128
+}
+
+// dial runs one connection lifecycle for client i, then reschedules
+// itself — the closed loop.
+func (cp *ClientPool) dial(i int, rng *sim.RNG) {
+	var sent int
+	var t0 sim.Time
+	finished := false // exactly one of OnClose/OnFail continues the loop
+	sendNext := func(ep *Endpoint) {
+		payload, bytes := cp.makeReq(i, sent)
+		sent++
+		t0 = cp.net.Eng.Now()
+		ep.Send(payload, bytes)
+	}
+	cp.net.Dial(cp.p.Port, EndpointHooks{
+		OnOpen: sendNext,
+		OnMessage: func(ep *Endpoint, _ core.Msg, _ int) {
+			cp.Responses++
+			cp.Lat.Add(cp.net.Eng.Now() - t0)
+			if sent >= cp.p.ReqsPerConn {
+				ep.Close()
+				return
+			}
+			cp.net.Eng.After(cp.think(rng), func() { sendNext(ep) })
+		},
+		OnClose: func(*Endpoint) {
+			if finished {
+				return
+			}
+			finished = true
+			cp.Completed++
+			cp.net.Eng.After(cp.think(rng), func() { cp.dial(i, rng) })
+		},
+		OnFail: func(*Endpoint) {
+			if finished {
+				return
+			}
+			finished = true
+			// Overloaded server shed us; cool off well past the backed-off
+			// RTO horizon, then try again.
+			cp.Failed++
+			cp.net.Eng.After(cp.net.P.RTOCycles*8+cp.think(rng), func() { cp.dial(i, rng) })
+		},
+	})
+}

@@ -1,0 +1,373 @@
+package net
+
+import (
+	"fmt"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+// tw is one test world: machine, runtime, kernel, NIC, wire, stack.
+type tw struct {
+	eng *sim.Engine
+	m   *machine.Machine
+	rt  *core.Runtime
+	k   *kernel.Kernel
+	nic *machine.NIC
+	nw  *Network
+	st  *Stack
+}
+
+func newTW(cores, shards int, wp WireParams, seed uint64) *tw {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(cores))
+	rt := core.NewRuntime(m, core.Config{Seed: seed})
+	k := kernel.New(rt, kernel.Config{})
+	nic := machine.NewNIC(m, machine.NICParams{})
+	wp.Seed = seed
+	nw := NewNetwork(eng, nic, wp)
+	st := NewStack(rt, k, nic, StackParams{Shards: shards})
+	return &tw{eng: eng, m: m, rt: rt, k: k, nic: nic, nw: nw, st: st}
+}
+
+// echoServer accepts on port 80 and echoes every payload back with the
+// given app compute per request.
+func (w *tw) echoServer(compute uint64) *Listener {
+	l := w.st.Listen(80)
+	w.rt.Boot("accept", func(t *core.Thread) {
+		for {
+			c, ok := l.Accept(t)
+			if !ok {
+				return
+			}
+			t.Spawn(fmt.Sprintf("conn.%d", c.ID()), func(ht *core.Thread) {
+				for {
+					v, ok := c.Recv(ht)
+					if !ok {
+						break
+					}
+					ht.Compute(compute)
+					c.Send(ht, v, 256)
+				}
+				c.Close(ht)
+			})
+		}
+	})
+	return l
+}
+
+// TestLoopbackEcho drives one connection through the full stack: dial,
+// three request/response round trips, close — and checks payload
+// fidelity and a clean teardown.
+func TestLoopbackEcho(t *testing.T) {
+	w := newTW(8, 2, DefaultWireParams(), 3)
+	defer w.rt.Shutdown()
+	w.echoServer(1000)
+
+	sent := []string{"ping-0", "ping-1", "ping-2"}
+	var got []string
+	closed := false
+	next := 0
+	var send func(ep *Endpoint)
+	send = func(ep *Endpoint) {
+		ep.Send(sent[next], 64)
+		next++
+	}
+	w.nw.Dial(80, EndpointHooks{
+		OnOpen: send,
+		OnMessage: func(ep *Endpoint, payload core.Msg, bytes int) {
+			got = append(got, payload.(string))
+			if next < len(sent) {
+				send(ep)
+			} else {
+				ep.Close()
+			}
+		},
+		OnClose: func(*Endpoint) { closed = true },
+	})
+	w.rt.Run()
+
+	if len(got) != len(sent) {
+		t.Fatalf("got %d echoes, want %d: %v", len(got), len(sent), got)
+	}
+	for i := range sent {
+		if got[i] != sent[i] {
+			t.Fatalf("echo %d = %q, want %q", i, got[i], sent[i])
+		}
+	}
+	if !closed {
+		t.Fatal("connection never completed the close handshake")
+	}
+	if w.eng.Now() == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if w.st.Accepts != 1 || w.st.Delivered != 3 {
+		t.Fatalf("stack stats: accepts=%d delivered=%d", w.st.Accepts, w.st.Delivered)
+	}
+}
+
+// replayRun executes a fixed client fleet against the echo server and
+// returns a digest of everything observable.
+func replayRun(seed uint64) [5]uint64 {
+	w := newTW(16, 0, DefaultWireParams(), seed)
+	defer w.rt.Shutdown()
+	w.echoServer(2000)
+	pool := NewClientPool(w.nw, ClientParams{
+		Port: 80, Clients: 24, ReqsPerConn: 3, ThinkCycles: 3000, Seed: seed,
+	})
+	w.rt.RunFor(2_000_000)
+	return [5]uint64{pool.Responses, pool.Completed, w.st.RxPackets, w.st.TxPackets, w.eng.Fired()}
+}
+
+// TestDeterministicReplay: the whole distributed workload — wire jitter,
+// shard interleaving, thread scheduling — replays exactly from a seed.
+func TestDeterministicReplay(t *testing.T) {
+	a := replayRun(5)
+	b := replayRun(5)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[0] == 0 {
+		t.Fatal("workload served nothing")
+	}
+	c := replayRun(6)
+	if a == c {
+		t.Fatalf("different seeds produced identical digests: %v", a)
+	}
+}
+
+// TestOrderPreservedUnderDelay is the ordering property test: a burst of
+// sequenced messages crosses a wire whose jitter is 30x its base delay
+// (heavy reordering), in both directions, and must still be delivered to
+// the application in send order — on every seed.
+func TestOrderPreservedUnderDelay(t *testing.T) {
+	const n = 40
+	for seed := uint64(1); seed <= 6; seed++ {
+		wp := WireParams{DelayCycles: 2_000, JitterCycles: 60_000}
+		w := newTW(8, 2, wp, seed)
+		var serverGot []int
+		l := w.st.Listen(80)
+		w.rt.Boot("accept", func(t *core.Thread) {
+			for {
+				c, ok := l.Accept(t)
+				if !ok {
+					return
+				}
+				t.Spawn("conn", func(ht *core.Thread) {
+					for {
+						v, ok := c.Recv(ht)
+						if !ok {
+							break
+						}
+						serverGot = append(serverGot, v.(int))
+						c.Send(ht, v, 64)
+					}
+					c.Close(ht)
+				})
+			}
+		})
+		var clientGot []int
+		w.nw.Dial(80, EndpointHooks{
+			OnOpen: func(ep *Endpoint) {
+				for i := 0; i < n; i++ {
+					ep.Send(i, 64) // burst: all in flight, jitter reorders
+				}
+				ep.Close()
+			},
+			OnMessage: func(ep *Endpoint, payload core.Msg, _ int) {
+				clientGot = append(clientGot, payload.(int))
+			},
+		})
+		w.rt.Run()
+		for i := 0; i < n; i++ {
+			if i >= len(serverGot) || serverGot[i] != i {
+				t.Fatalf("seed %d: server order broken at %d: %v", seed, i, serverGot)
+			}
+			if i >= len(clientGot) || clientGot[i] != i {
+				t.Fatalf("seed %d: client order broken at %d: %v", seed, i, clientGot)
+			}
+		}
+		w.rt.Shutdown()
+	}
+}
+
+// TestLossRecovery: with 15% packet loss in each direction, cumulative
+// acks + timeout retransmission must still deliver every message, in
+// order, exactly once.
+func TestLossRecovery(t *testing.T) {
+	const n = 25
+	wp := WireParams{DelayCycles: 5_000, JitterCycles: 10_000, LossProb: 0.15, RTOCycles: 120_000}
+	w := newTW(8, 2, wp, 11)
+	defer w.rt.Shutdown()
+	w.echoServer(500)
+
+	var got []int
+	sent := 0
+	closed := false
+	var send func(ep *Endpoint)
+	send = func(ep *Endpoint) {
+		ep.Send(sent, 64)
+		sent++
+	}
+	w.nw.Dial(80, EndpointHooks{
+		OnOpen: send,
+		OnMessage: func(ep *Endpoint, payload core.Msg, _ int) {
+			got = append(got, payload.(int))
+			if sent < n {
+				send(ep)
+			} else {
+				ep.Close()
+			}
+		},
+		OnClose: func(*Endpoint) { closed = true },
+	})
+	w.rt.Run()
+
+	if !closed {
+		t.Fatal("close handshake never completed under loss")
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d messages under loss: %v", len(got), n, got)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("order/duplication broken at %d: %v", i, got)
+		}
+	}
+	if w.st.Retransmits+w.nw.Retransmits == 0 {
+		t.Fatal("15%% loss should have forced retransmissions")
+	}
+}
+
+// shardRun measures responses served in a fixed window with the given
+// shard count, netstack-bound (tiny app compute, many clients).
+func shardRun(shards int) uint64 {
+	w := newTW(16, shards, DefaultWireParams(), 9)
+	defer w.rt.Shutdown()
+	w.echoServer(500)
+	pool := NewClientPool(w.nw, ClientParams{
+		Port: 80, Clients: 64, ReqsPerConn: 4, ThinkCycles: 1000, Seed: 9,
+	})
+	w.rt.RunFor(3_000_000)
+	return pool.Responses
+}
+
+// TestShardScalingSanity: two netstack shards must serve at least as
+// much as one — independent connections should not serialise.
+func TestShardScalingSanity(t *testing.T) {
+	one := shardRun(1)
+	two := shardRun(2)
+	if one == 0 {
+		t.Fatal("one-shard run served nothing")
+	}
+	if two < one {
+		t.Fatalf("2 shards (%d responses) served less than 1 shard (%d)", two, one)
+	}
+}
+
+// TestSlowReaderShedsNotWedges: a connection whose application reads
+// far slower than the wire delivers must not stall its shard — the
+// stack sheds into retransmission — and a second connection on the
+// same shard must keep being served meanwhile.
+func TestSlowReaderShedsNotWedges(t *testing.T) {
+	w := newTW(8, 1, WireParams{DelayCycles: 2_000, RTOCycles: 40_000}, 17)
+	defer w.rt.Shutdown()
+	w.st.P.RecvBuf = 2
+	const n = 12
+	var slowGot []int
+	var fastEchoes int
+	l := w.st.Listen(80)
+	w.rt.Boot("accept", func(at *core.Thread) {
+		first := true
+		for {
+			c, ok := l.Accept(at)
+			if !ok {
+				return
+			}
+			slow := first
+			first = false
+			at.Spawn("conn", func(ht *core.Thread) {
+				for {
+					v, ok := c.Recv(ht)
+					if !ok {
+						break
+					}
+					if slow {
+						ht.Sleep(100_000) // read far slower than the burst
+						slowGot = append(slowGot, v.(int))
+					} else {
+						c.Send(ht, v, 64)
+					}
+				}
+				c.Close(ht)
+			})
+		}
+	})
+	// Connection 1: bursts n messages at a reader with RecvBuf 2.
+	w.nw.Dial(80, EndpointHooks{
+		OnOpen: func(ep *Endpoint) {
+			for i := 0; i < n; i++ {
+				ep.Send(i, 64)
+			}
+			ep.Close()
+		},
+	})
+	// Connection 2 (same single shard): quick echoes, started later.
+	w.eng.After(50_000, func() {
+		sent := 0
+		var send func(ep *Endpoint)
+		send = func(ep *Endpoint) { ep.Send(sent, 64); sent++ }
+		w.nw.Dial(80, EndpointHooks{
+			OnOpen: send,
+			OnMessage: func(ep *Endpoint, _ core.Msg, _ int) {
+				fastEchoes++
+				if sent < 3 {
+					send(ep)
+				} else {
+					ep.Close()
+				}
+			},
+		})
+	})
+	w.rt.Run()
+
+	if w.st.RecvFull == 0 {
+		t.Fatal("tiny socket buffer never shed under a burst")
+	}
+	if len(slowGot) != n {
+		t.Fatalf("slow reader got %d of %d messages: %v", len(slowGot), n, slowGot)
+	}
+	for i := 0; i < n; i++ {
+		if slowGot[i] != i {
+			t.Fatalf("slow reader order broken at %d: %v", i, slowGot)
+		}
+	}
+	if fastEchoes != 3 {
+		t.Fatalf("second connection on the shard served %d of 3 echoes", fastEchoes)
+	}
+}
+
+// TestAcceptBacklogSheds: a listener nobody accepts from sheds SYNs once
+// its backlog fills, and the shed clients eventually give up.
+func TestAcceptBacklogSheds(t *testing.T) {
+	w := newTW(8, 1, WireParams{DelayCycles: 1_000, RTOCycles: 50_000, MaxRetries: 2}, 13)
+	defer w.rt.Shutdown()
+	w.st.P.AcceptBacklog = 2
+	w.st.Listen(80) // bind, never accept
+	fails := 0
+	for i := 0; i < 6; i++ {
+		w.nw.Dial(80, EndpointHooks{
+			OnFail: func(*Endpoint) { fails++ },
+		})
+	}
+	w.rt.Run()
+	if w.st.AcceptDrops == 0 {
+		t.Fatal("full backlog never shed a SYN")
+	}
+	if fails == 0 {
+		t.Fatal("shed clients never gave up")
+	}
+}

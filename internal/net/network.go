@@ -1,0 +1,304 @@
+package net
+
+import (
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+// WireParams models the network between the machine and its remote
+// peers: deterministic, seeded propagation delay, per-packet jitter
+// (which reorders packets) and i.i.d. loss. RTOCycles/MaxRetries govern
+// the retransmission behaviour of every sender on the wire.
+type WireParams struct {
+	DelayCycles  uint64  // one-way base propagation
+	JitterCycles uint64  // uniform extra in [0, JitterCycles) per packet
+	LossProb     float64 // drop probability per packet, each direction
+	RTOCycles    uint64  // retransmission timeout
+	MaxRetries   int     // consecutive timeouts before a sender gives up
+	Seed         uint64
+}
+
+// DefaultWireParams models an intra-datacenter path on the 2 GHz
+// machine: 10 µs one-way delay, 2 µs jitter, no loss, 150 µs RTO.
+func DefaultWireParams() WireParams {
+	return WireParams{
+		DelayCycles:  20_000,
+		JitterCycles: 4_000,
+		LossProb:     0,
+		RTOCycles:    300_000,
+		MaxRetries:   8,
+		Seed:         1,
+	}
+}
+
+func (p *WireParams) fill() {
+	if p.DelayCycles == 0 {
+		p.DelayCycles = 20_000
+	}
+	if p.RTOCycles == 0 {
+		p.RTOCycles = 300_000
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Network is the simulated wire plus the remote peers on it. It attaches
+// to the NIC's wire side: frames the host transmits are routed to the
+// endpoint owning the connection; packets endpoints send arrive on the
+// NIC RX queue the device's RSS function picks. All activity is engine
+// events — remote peers consume no cycles on the simulated machine.
+type Network struct {
+	Eng *sim.Engine
+	P   WireParams
+
+	rng    *sim.RNG
+	nic    *machine.NIC
+	eps    map[ConnID]*Endpoint
+	nextID ConnID
+
+	// Stats.
+	ToHost, ToClient uint64 // packets that survived the wire, per direction
+	WireDrops        uint64
+	Retransmits      uint64 // endpoint-side retransmissions
+	GaveUp           uint64 // endpoints that exhausted MaxRetries
+}
+
+// NewNetwork builds the wire and claims the NIC's transmit side.
+func NewNetwork(eng *sim.Engine, nic *machine.NIC, p WireParams) *Network {
+	p.fill()
+	n := &Network{
+		Eng:    eng,
+		P:      p,
+		rng:    sim.NewRNG(p.Seed),
+		nic:    nic,
+		eps:    make(map[ConnID]*Endpoint),
+		nextID: 1,
+	}
+	nic.OnTransmit(n.fromHost)
+	return n
+}
+
+// delay draws one packet's wire latency.
+func (n *Network) delay() uint64 {
+	d := n.P.DelayCycles
+	if n.P.JitterCycles > 0 {
+		d += n.rng.Uint64n(n.P.JitterCycles)
+	}
+	return d
+}
+
+// drop draws one packet's loss fate.
+func (n *Network) drop() bool {
+	return n.P.LossProb > 0 && n.rng.Bool(n.P.LossProb)
+}
+
+// fromHost carries a frame the NIC finished serialising to its endpoint.
+func (n *Network) fromHost(f machine.Frame) {
+	p, ok := f.Payload.(Packet)
+	if !ok {
+		return
+	}
+	if n.drop() {
+		n.WireDrops++
+		return
+	}
+	n.ToClient++
+	n.Eng.After(n.delay(), func() {
+		if ep := n.eps[p.Conn]; ep != nil {
+			ep.handle(p)
+		}
+	})
+}
+
+// toHost carries an endpoint's packet onto the machine's NIC, landing on
+// the RX queue RSS assigns to the connection.
+func (n *Network) toHost(p Packet) {
+	if n.drop() {
+		n.WireDrops++
+		return
+	}
+	n.ToHost++
+	n.Eng.After(n.delay(), func() {
+		n.nic.Arrive(machine.Frame{
+			Queue:   n.nic.QueueFor(int(p.Conn)),
+			Bytes:   p.MsgBytes(),
+			Payload: p,
+		})
+	})
+}
+
+// EndpointHooks are the client-side event callbacks. All run in engine
+// context at the virtual time the triggering packet is delivered.
+type EndpointHooks struct {
+	// OnOpen fires when the server's SYNACK arrives.
+	OnOpen func(*Endpoint)
+	// OnMessage fires per in-order payload, with its wire size.
+	OnMessage func(ep *Endpoint, payload core.Msg, bytes int)
+	// OnClose fires when the server's FIN is delivered in order.
+	OnClose func(*Endpoint)
+	// OnFail fires when the endpoint gives up after MaxRetries
+	// consecutive timeouts (connect or retransmission).
+	OnFail func(*Endpoint)
+}
+
+// Endpoint is a remote peer: the client half of one connection, driven
+// entirely by engine events. It mirrors the stack's per-connection state
+// (sequence assignment, reassembly, cumulative ack, retransmission).
+type Endpoint struct {
+	ID   ConnID
+	Port int
+
+	net     *Network
+	hooks   EndpointHooks
+	snd     sendFlow
+	rcv     recvFlow
+	open    bool // SYNACK seen
+	closed  bool // we sent FIN
+	done    bool // remote FIN delivered
+	retries int
+	rto     *sim.Event
+}
+
+// Dial opens a connection to the given port: the SYN goes on the wire
+// immediately and is retried on timeout until the server answers (or
+// MaxRetries is exhausted, e.g. when the listen backlog keeps shedding).
+func (n *Network) Dial(port int, hooks EndpointHooks) *Endpoint {
+	ep := &Endpoint{ID: n.nextID, Port: port, net: n, hooks: hooks}
+	n.nextID++
+	n.eps[ep.ID] = ep
+	n.toHost(Packet{Conn: ep.ID, Port: port, Flags: SYN})
+	ep.armRTO()
+	return ep
+}
+
+// Open reports whether the handshake has completed.
+func (ep *Endpoint) Open() bool { return ep.open }
+
+// Send puts one payload on the wire with the given simulated size.
+func (ep *Endpoint) Send(payload core.Msg, bytes int) {
+	if !ep.open {
+		panic(fmt.Sprintf("net: send on unopened connection %d", ep.ID))
+	}
+	if ep.closed {
+		return
+	}
+	p := ep.snd.packetize(Packet{Conn: ep.ID, Port: ep.Port, Flags: DATA, Bytes: bytes, Payload: payload})
+	ep.net.toHost(p)
+	ep.armRTO()
+}
+
+// Close sends the FIN (sequenced after all data).
+func (ep *Endpoint) Close() {
+	if ep.closed || !ep.open {
+		return
+	}
+	ep.closed = true
+	p := ep.snd.packetize(Packet{Conn: ep.ID, Port: ep.Port, Flags: FIN})
+	ep.net.toHost(p)
+	ep.armRTO()
+}
+
+// rtoAfter returns the current timeout with exponential backoff: doubling
+// per consecutive silent timeout keeps an overloaded server from being
+// buried under retransmissions of the very queue that delays its acks.
+func rtoAfter(base uint64, retries int) uint64 {
+	if retries > 6 {
+		retries = 6
+	}
+	return base << uint(retries)
+}
+
+func (ep *Endpoint) armRTO() {
+	if ep.rto != nil {
+		return
+	}
+	ep.rto = ep.net.Eng.After(rtoAfter(ep.net.P.RTOCycles, ep.retries), ep.fireRTO)
+}
+
+func (ep *Endpoint) cancelRTO() {
+	if ep.rto != nil {
+		ep.net.Eng.Cancel(ep.rto)
+		ep.rto = nil
+	}
+}
+
+func (ep *Endpoint) fireRTO() {
+	ep.rto = nil
+	if ep.retries >= ep.net.P.MaxRetries {
+		ep.net.GaveUp++
+		delete(ep.net.eps, ep.ID)
+		if ep.hooks.OnFail != nil {
+			ep.hooks.OnFail(ep)
+		}
+		return
+	}
+	ep.retries++
+	if !ep.open {
+		ep.net.toHost(Packet{Conn: ep.ID, Port: ep.Port, Flags: SYN})
+		ep.net.Retransmits++
+		ep.armRTO()
+		return
+	}
+	pend := ep.snd.pending()
+	for _, p := range pend {
+		ep.net.toHost(p)
+		ep.net.Retransmits++
+	}
+	if len(pend) > 0 {
+		ep.armRTO()
+	}
+}
+
+// handle processes one packet delivered to this endpoint.
+func (ep *Endpoint) handle(p Packet) {
+	switch {
+	case p.Flags&SYNACK != 0:
+		if ep.open {
+			return // duplicate
+		}
+		ep.open = true
+		ep.retries = 0
+		ep.cancelRTO()
+		if ep.hooks.OnOpen != nil {
+			ep.hooks.OnOpen(ep)
+		}
+
+	case p.Flags&ACK != 0:
+		ep.retries = 0
+		if !ep.snd.ack(p.Ack) {
+			ep.cancelRTO()
+			ep.maybeReap()
+		}
+
+	case p.Flags&(DATA|FIN) != 0:
+		run := ep.rcv.accept(p)
+		// Always re-ack: the peer retransmits until it hears from us.
+		ep.net.toHost(Packet{Conn: ep.ID, Port: ep.Port, Flags: ACK, Ack: ep.rcv.cumAck()})
+		for _, q := range run {
+			if q.Flags&FIN != 0 {
+				ep.done = true
+				if ep.hooks.OnClose != nil {
+					ep.hooks.OnClose(ep)
+				}
+				ep.maybeReap()
+			} else if ep.hooks.OnMessage != nil {
+				ep.hooks.OnMessage(ep, q.Payload, q.Bytes)
+			}
+		}
+	}
+}
+
+// maybeReap removes the endpoint once both directions are finished.
+func (ep *Endpoint) maybeReap() {
+	if ep.done && ep.closed && len(ep.snd.pending()) == 0 {
+		ep.cancelRTO()
+		delete(ep.net.eps, ep.ID)
+	}
+}

@@ -1,0 +1,167 @@
+// Package net is the chanOS network stack, built the way the paper says
+// kernel subsystems should be built (§4): the NIC is a device with
+// per-core queues, the stack is a kernel service whose handler threads
+// are sharded by connection ID (so independent connections never
+// serialise behind a shared lock — the per-object sharding argument of
+// the scalable-OS literature applied to its canonical subsystem), and a
+// socket is nothing but channels: a listener is an accept channel, a
+// connection is a receive channel plus sends routed to the connection's
+// shard. "Syscalls are messages" all the way down to the wire.
+//
+// Remote peers live on the simulated wire (package-local Endpoint state
+// machines driven by engine events), so every CPU cycle measured belongs
+// to the serving machine. The wire applies deterministic, seeded delay,
+// jitter and loss; the stack recovers ordering with per-connection
+// sequence numbers and reassembly, and recovers loss with cumulative
+// acks plus timeout retransmission.
+package net
+
+import "chanos/internal/core"
+
+// ConnID identifies one connection; it is the sharding key for the
+// netstack service and the RSS key for the NIC.
+type ConnID int
+
+// Flags classifies a packet.
+type Flags uint8
+
+// Packet flag bits.
+const (
+	SYN    Flags = 1 << iota // client opens a connection
+	SYNACK                   // server accepts it
+	DATA                     // sequenced payload
+	ACK                      // cumulative acknowledgement (Ack field)
+	FIN                      // sequenced end-of-stream marker
+)
+
+func (f Flags) String() string {
+	switch {
+	case f&SYN != 0:
+		return "SYN"
+	case f&SYNACK != 0:
+		return "SYNACK"
+	case f&FIN != 0:
+		return "FIN"
+	case f&DATA != 0:
+		return "DATA"
+	case f&ACK != 0:
+		return "ACK"
+	}
+	return "?"
+}
+
+// headerBytes is the simulated wire overhead of every packet.
+const headerBytes = 40
+
+// Packet is one unit of wire transfer. DATA and FIN packets carry a
+// per-direction sequence number starting at 1; ACKs carry the highest
+// contiguous sequence received. Bytes is the simulated payload size
+// (Payload itself is host data and travels by reference — the wire cost
+// model charges Bytes, not the host representation).
+type Packet struct {
+	Conn    ConnID
+	Port    int
+	Seq     uint64
+	Ack     uint64
+	Flags   Flags
+	Bytes   int
+	Payload core.Msg
+}
+
+// MsgBytes implements core.Sized.
+func (p Packet) MsgBytes() int { return headerBytes + p.Bytes }
+
+// sendFlow is the sending half of one direction of a connection: it
+// assigns sequence numbers and keeps unacknowledged packets for
+// retransmission. Both stack connections and remote endpoints embed one.
+type sendFlow struct {
+	nextSeq uint64
+	unacked []Packet
+}
+
+// packetize stamps the next sequence number on a DATA or FIN packet and
+// retains it until acknowledged.
+func (s *sendFlow) packetize(p Packet) Packet {
+	s.nextSeq++
+	p.Seq = s.nextSeq
+	s.unacked = append(s.unacked, p)
+	return p
+}
+
+// ack drops packets covered by the cumulative ack and reports whether
+// anything is still outstanding.
+func (s *sendFlow) ack(cum uint64) (outstanding bool) {
+	i := 0
+	for i < len(s.unacked) && s.unacked[i].Seq <= cum {
+		i++
+	}
+	s.unacked = s.unacked[i:]
+	return len(s.unacked) > 0
+}
+
+// pending returns the unacknowledged packets, oldest first.
+func (s *sendFlow) pending() []Packet { return s.unacked }
+
+// recvFlow is the receiving half: it reassembles the sequence space,
+// holding out-of-order arrivals until the gap fills.
+type recvFlow struct {
+	next uint64 // next expected seq (first is 1)
+	held map[uint64]Packet
+}
+
+// accept processes one sequenced packet and returns the run of packets
+// now deliverable in order (nil for duplicates and out-of-order holds).
+func (r *recvFlow) accept(p Packet) []Packet {
+	if r.next == 0 {
+		r.next = 1
+	}
+	if p.Seq < r.next {
+		return nil // duplicate of something already delivered
+	}
+	if p.Seq > r.next {
+		if r.held == nil {
+			r.held = make(map[uint64]Packet)
+		}
+		r.held[p.Seq] = p
+		return nil
+	}
+	run := []Packet{p}
+	r.next++
+	for {
+		q, ok := r.held[r.next]
+		if !ok {
+			break
+		}
+		delete(r.held, r.next)
+		run = append(run, q)
+		r.next++
+	}
+	return run
+}
+
+// unaccept returns undeliverable packets to the reassembly buffer and
+// rewinds the expected sequence: they are treated as never received, so
+// they stay unacknowledged and the peer's retransmission redelivers
+// them. Used when the socket buffer is full.
+func (r *recvFlow) unaccept(pkts []Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	if r.held == nil {
+		r.held = make(map[uint64]Packet)
+	}
+	// The first packet becomes the expected seq again and will come back
+	// by retransmission; holding it too would leave a stale entry behind.
+	for _, p := range pkts[1:] {
+		r.held[p.Seq] = p
+	}
+	r.next = pkts[0].Seq
+}
+
+// cumAck returns the highest contiguous sequence received so far.
+func (r *recvFlow) cumAck() uint64 {
+	if r.next == 0 {
+		return 0
+	}
+	return r.next - 1
+}

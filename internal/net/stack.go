@@ -1,0 +1,497 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+	"chanos/internal/machine"
+	"chanos/internal/sim"
+)
+
+// StackParams tunes the netstack service.
+type StackParams struct {
+	// Shards is the number of netstack handler threads; connections are
+	// routed to shard ConnID % Shards. 0 = one shard per kernel core.
+	Shards int
+	// AcceptBacklog is the listener accept-channel capacity; a SYN that
+	// finds it full is shed (the client retries). Default 64.
+	AcceptBacklog int
+	// RecvBuf is the per-connection receive channel capacity. Packets
+	// that find it full are shed unacknowledged (the peer retransmits),
+	// so a slow reader costs itself retransmissions instead of stalling
+	// its shard. Default 256.
+	RecvBuf int
+	// RxIRQCycles is the interrupt + driver cost a shard pays per
+	// received frame. Default 1200 (~0.6 µs).
+	RxIRQCycles uint64
+	// RTOCycles / MaxRetries govern server-side retransmission.
+	// Defaults 300_000 and 8.
+	RTOCycles  uint64
+	MaxRetries int
+	// IdleCycles is how long a connection may stay completely silent
+	// before the shard reaps it (the peer vanished without a FIN — gave
+	// up, or its final packets were all lost). Must exceed the longest
+	// backed-off retransmission gap, or a struggling-but-alive peer gets
+	// reaped mid-retry. Default 128 × RTOCycles.
+	IdleCycles uint64
+}
+
+func (p *StackParams) fill() {
+	if p.AcceptBacklog <= 0 {
+		p.AcceptBacklog = 64
+	}
+	if p.RecvBuf <= 0 {
+		p.RecvBuf = 256
+	}
+	if p.RxIRQCycles == 0 {
+		p.RxIRQCycles = 1200
+	}
+	if p.RTOCycles == 0 {
+		p.RTOCycles = 300_000
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 8
+	}
+	if p.IdleCycles == 0 {
+		p.IdleCycles = 128 * p.RTOCycles
+	}
+}
+
+// rxFrame is the kernel request argument for a received frame.
+type rxFrame struct {
+	Queue int
+	Pkt   Packet
+}
+
+// MsgBytes implements core.Sized.
+func (r rxFrame) MsgBytes() int { return r.Pkt.MsgBytes() }
+
+// txReq is the kernel request argument for an application send.
+type txReq struct {
+	Payload core.Msg
+	Bytes   int
+}
+
+// MsgBytes implements core.Sized.
+func (r txReq) MsgBytes() int { return 16 + r.Bytes }
+
+// stackConn is the per-connection state owned by exactly one shard
+// thread — mutated without any locking, because routing by ConnID means
+// no other thread ever touches it.
+type stackConn struct {
+	id   ConnID
+	port int
+
+	snd    sendFlow
+	rcv    recvFlow
+	recvCh *core.Chan
+
+	finSent, finRcvd bool
+	retries          int
+	rto              *sim.Event
+	lastRx           sim.Time // last packet seen; idle sweep reaps silence
+}
+
+// closedRec remembers a retired connection: when it went, and whether
+// it went cleanly (FIN handshake — we provably received everything) or
+// not (idle-reaped or gave up — later arrivals may be genuinely new
+// data that must NOT be acknowledged).
+type closedRec struct {
+	at    sim.Time
+	clean bool
+}
+
+// shardState is one shard's private connection table, plus a TIME_WAIT
+// set: connection ids that closed recently, kept so a delayed duplicate
+// SYN cannot resurrect a finished connection as a ghost.
+type shardState struct {
+	id         int
+	conns      map[ConnID]*stackConn
+	closed     map[ConnID]closedRec
+	sweepArmed bool // an idle sweep is scheduled
+}
+
+// Listener is a port bound to an accept channel: accepting a connection
+// is receiving a *Conn message, nothing more.
+type Listener struct {
+	Port   int
+	accept *core.Chan
+}
+
+// AcceptChan exposes the raw accept channel (e.g. for Choose).
+func (l *Listener) AcceptChan() *core.Chan { return l.accept }
+
+// Accept blocks until the next connection arrives. ok is false once the
+// listener's channel is closed.
+func (l *Listener) Accept(t *core.Thread) (*Conn, bool) {
+	v, ok := l.accept.Recv(t)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Conn), true
+}
+
+// Conn is the application's socket: a receive channel carrying in-order
+// payloads (closed when the peer's FIN arrives) and a Send that is a
+// message to the connection's netstack shard. A connection IS a pair of
+// channels — the paper's "plumb a connection by passing around a
+// channel" made literal.
+type Conn struct {
+	id    ConnID
+	port  int
+	stack *Stack
+	recv  *core.Chan
+}
+
+// MsgBytes implements core.Sized (a Conn travels through the accept
+// channel as a capability).
+func (c *Conn) MsgBytes() int { return 64 }
+
+// ID returns the connection id.
+func (c *Conn) ID() ConnID { return c.id }
+
+// RecvChan exposes the receive channel (e.g. for Choose over sockets).
+func (c *Conn) RecvChan() *core.Chan { return c.recv }
+
+// Recv returns the next in-order payload; ok is false after the peer
+// closes and the buffer drains.
+func (c *Conn) Recv(t *core.Thread) (core.Msg, bool) {
+	return c.recv.Recv(t)
+}
+
+// Send transmits one payload with the given simulated wire size.
+func (c *Conn) Send(t *core.Thread, payload core.Msg, bytes int) {
+	c.stack.svc.ShardFor(int(c.id)).Send(t, kernel.Request{
+		Op: "tx", Key: int(c.id), Arg: txReq{Payload: payload, Bytes: bytes},
+	})
+}
+
+// Close sends the FIN after all queued data.
+func (c *Conn) Close(t *core.Thread) {
+	c.stack.svc.ShardFor(int(c.id)).Send(t, kernel.Request{Op: "close", Key: int(c.id)})
+}
+
+// Stack is the netstack: a sharded kernel service bridging the NIC to
+// socket channels.
+type Stack struct {
+	rt  *core.Runtime
+	k   *kernel.Kernel
+	nic *machine.NIC
+	svc *kernel.Service
+	P   StackParams
+
+	listeners map[int]*Listener
+
+	// Stats.
+	Accepts, AcceptDrops uint64
+	RxPackets, TxPackets uint64
+	Delivered            uint64 // payloads handed to sockets
+	RecvFull             uint64 // packets shed because a socket buffer was full
+	Retransmits, GaveUp  uint64
+	IdleReaped           uint64 // silent connections reaped by the idle sweep
+}
+
+// NewStack registers the "net" service on k's kernel cores and claims
+// the NIC's receive side: every frame is injected into the shard owning
+// its connection, so one connection's packets are processed in series by
+// one thread while distinct connections proceed in parallel.
+func NewStack(rt *core.Runtime, k *kernel.Kernel, nic *machine.NIC, p StackParams) *Stack {
+	p.fill()
+	s := &Stack{rt: rt, k: k, nic: nic, P: p, listeners: make(map[int]*Listener)}
+	s.svc = k.RegisterEach("net", p.Shards, s.shardHandler)
+	nic.OnReceive(func(queue int, f machine.Frame) {
+		pkt, ok := f.Payload.(Packet)
+		if !ok {
+			nic.RxDone(queue)
+			return
+		}
+		rt.InjectSend(s.svc.ShardFor(int(pkt.Conn)), kernel.Request{
+			Op: "rx", Key: int(pkt.Conn), Arg: rxFrame{Queue: queue, Pkt: pkt},
+		}, queue%rt.NumCores())
+	})
+	return s
+}
+
+// Shards returns the number of netstack shards.
+func (s *Stack) Shards() int { return s.svc.Shards() }
+
+// Listen binds a port and returns its listener.
+func (s *Stack) Listen(port int) *Listener {
+	if _, dup := s.listeners[port]; dup {
+		panic(fmt.Sprintf("net: port %d already bound", port))
+	}
+	l := &Listener{
+		Port:   port,
+		accept: s.rt.NewChan(fmt.Sprintf("listen.%d", port), s.P.AcceptBacklog),
+	}
+	s.listeners[port] = l
+	return l
+}
+
+// shardHandler builds the handler closure for one shard; state lives in
+// the closure, reachable only from that shard's thread.
+func (s *Stack) shardHandler(shard int) kernel.Handler {
+	st := &shardState{
+		id:     shard,
+		conns:  make(map[ConnID]*stackConn),
+		closed: make(map[ConnID]closedRec),
+	}
+	return func(t *core.Thread, req kernel.Request) core.Msg {
+		switch req.Op {
+		case "rx":
+			a := req.Arg.(rxFrame)
+			s.nic.RxDone(a.Queue)
+			t.Compute(s.P.RxIRQCycles)
+			s.rx(t, st, a.Pkt)
+		case "tx":
+			a := req.Arg.(txReq)
+			c := st.conns[ConnID(req.Key)]
+			if c == nil || c.finSent {
+				return nil // connection gone: data silently dropped
+			}
+			s.sendSeq(t, c, Packet{Conn: c.id, Port: c.port, Flags: DATA, Bytes: a.Bytes, Payload: a.Payload})
+		case "close":
+			c := st.conns[ConnID(req.Key)]
+			if c == nil || c.finSent {
+				return nil
+			}
+			c.finSent = true
+			s.sendSeq(t, c, Packet{Conn: c.id, Port: c.port, Flags: FIN})
+		case "rto":
+			s.rto(t, st, ConnID(req.Key))
+		case "sweep":
+			s.sweep(t, st)
+		}
+		return nil
+	}
+}
+
+// ensureSweep keeps one idle sweep scheduled while the shard has live
+// connections. It re-enters the shard as a service message (Key is the
+// shard's own index, which routes to itself) and stops rearming once the
+// table empties, so simulations still quiesce.
+func (s *Stack) ensureSweep(t *core.Thread, st *shardState) {
+	if st.sweepArmed || len(st.conns) == 0 {
+		return
+	}
+	st.sweepArmed = true
+	from := t.Core()
+	s.rt.Eng.After(s.P.IdleCycles/4, func() {
+		s.rt.InjectSend(s.svc.ShardFor(st.id), kernel.Request{Op: "sweep", Key: st.id}, from)
+	})
+}
+
+// sweep reaps connections that have been completely silent for
+// IdleCycles: their peer is gone (gave up, or every closing packet was
+// lost) and nothing else will ever remove them. Iteration is in id
+// order — reaping closes channels, which schedules events.
+func (s *Stack) sweep(t *core.Thread, st *shardState) {
+	st.sweepArmed = false
+	now := s.rt.Eng.Now()
+	ids := make([]int, 0, len(st.conns))
+	for id := range st.conns {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := st.conns[ConnID(id)]
+		if now-c.lastRx <= s.P.IdleCycles {
+			continue
+		}
+		s.IdleReaped++
+		s.clearRTO(c)
+		if !c.finRcvd {
+			c.recvCh.Close(t)
+		}
+		s.retire(st, c, false)
+	}
+	s.ensureSweep(t, st)
+}
+
+// rx processes one received packet on its owning shard.
+func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
+	s.RxPackets++
+	switch {
+	case p.Flags&SYN != 0:
+		if c := st.conns[p.Conn]; c != nil {
+			// Duplicate SYN: our SYNACK was lost or is in flight. The
+			// retry proves the peer is alive — keep the idle sweep away.
+			c.lastRx = s.rt.Eng.Now()
+			s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK})
+			return
+		}
+		if rec, was := st.closed[p.Conn]; was {
+			if s.rt.Eng.Now()-rec.at <= timeWait*s.P.RTOCycles {
+				return // stale duplicate SYN for a finished connection
+			}
+			// TIME_WAIT expired: the id may be legitimately reused.
+			delete(st.closed, p.Conn)
+		}
+		l := s.listeners[p.Port]
+		if l == nil {
+			return // no listener: the void swallows the SYN
+		}
+		c := &stackConn{
+			id:     p.Conn,
+			port:   p.Port,
+			recvCh: t.NewChan(fmt.Sprintf("conn.%d.recv", p.Conn), s.P.RecvBuf),
+			lastRx: s.rt.Eng.Now(),
+		}
+		conn := &Conn{id: p.Conn, port: p.Port, stack: s, recv: c.recvCh}
+		if !l.accept.TrySend(t, conn) {
+			s.AcceptDrops++ // backlog full: shed; the client will retry
+			return
+		}
+		st.conns[p.Conn] = c
+		s.Accepts++
+		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK})
+		s.ensureSweep(t, st)
+
+	case p.Flags&ACK != 0:
+		c := st.conns[p.Conn]
+		if c == nil {
+			return
+		}
+		c.lastRx = s.rt.Eng.Now()
+		c.retries = 0
+		if !c.snd.ack(p.Ack) {
+			s.clearRTO(c)
+			if c.finSent && c.finRcvd {
+				s.retire(st, c, true) // fully closed and acknowledged
+			}
+		}
+
+	case p.Flags&(DATA|FIN) != 0:
+		c := st.conns[p.Conn]
+		if c == nil {
+			if rec, was := st.closed[p.Conn]; was && rec.clean {
+				// Retransmission to a cleanly retired connection (our
+				// final ACK was lost): the FIN handshake proved we had
+				// everything contiguous, so acking its seq is safe — and
+				// without this the peer retries into a void and reports
+				// failure on a connection that in fact completed. An
+				// uncleanly retired connection (idle-reaped, gave up)
+				// must stay silent: acking would claim delivery of data
+				// that was dropped.
+				s.transmit(t, Packet{Conn: p.Conn, Port: p.Port, Flags: ACK, Ack: p.Seq})
+			}
+			return
+		}
+		c.lastRx = s.rt.Eng.Now()
+		run := c.rcv.accept(p)
+		for i, q := range run {
+			if q.Flags&FIN != 0 {
+				c.finRcvd = true
+				c.recvCh.Close(t)
+				if c.finSent && len(c.snd.pending()) == 0 {
+					s.retire(st, c, true)
+				}
+			} else if c.recvCh.TrySend(t, q.Payload) {
+				s.Delivered++
+			} else {
+				// Socket buffer full. Never block the shard on one
+				// connection's slow reader (the app thread might itself
+				// be blocked sending to this shard — that way lies
+				// deadlock): shed the rest of the run unacknowledged and
+				// let the peer's retransmission redeliver it.
+				c.rcv.unaccept(run[i:])
+				s.RecvFull += uint64(len(run) - i)
+				break
+			}
+		}
+		// Ack what was actually taken — and re-ack duplicates, so a peer
+		// whose ack was lost stops retransmitting.
+		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: ACK, Ack: c.rcv.cumAck()})
+	}
+}
+
+// timeWait is how long a finished connection id stays in the TIME_WAIT
+// set, as a multiple of the RTO: long enough to outlive any duplicate
+// SYN still in flight or scheduled for retransmission.
+const timeWait = 16
+
+// retire removes a finished connection and remembers its id in
+// TIME_WAIT; clean marks a completed FIN handshake (see closedRec).
+// The set is purged lazily once it grows; expiry is order-insensitive,
+// so map iteration hurts nothing.
+func (s *Stack) retire(st *shardState, c *stackConn, clean bool) {
+	delete(st.conns, c.id)
+	now := s.rt.Eng.Now()
+	st.closed[c.id] = closedRec{at: now, clean: clean}
+	if len(st.closed) >= 512 {
+		horizon := timeWait * s.P.RTOCycles
+		for id, rec := range st.closed {
+			if now-rec.at > horizon {
+				delete(st.closed, id)
+			}
+		}
+	}
+}
+
+// sendSeq stamps, transmits and tracks a sequenced packet.
+func (s *Stack) sendSeq(t *core.Thread, c *stackConn, p Packet) {
+	s.transmit(t, c.snd.packetize(p))
+	s.armRTO(t, c)
+}
+
+// transmit pays the descriptor cost and hands the packet to this core's
+// TX queue.
+func (s *Stack) transmit(t *core.Thread, p Packet) {
+	t.Compute(s.nic.P.TxDMACycles)
+	s.TxPackets++
+	s.nic.Transmit(machine.Frame{
+		Queue:   t.Core() % s.nic.Queues(),
+		Bytes:   p.MsgBytes(),
+		Payload: p,
+	})
+}
+
+// armRTO schedules a retransmission check; it fires back into the shard
+// as an ordinary service message, so retransmission needs no locking
+// either.
+func (s *Stack) armRTO(t *core.Thread, c *stackConn) {
+	if c.rto != nil {
+		return
+	}
+	id, from := c.id, t.Core()
+	c.rto = s.rt.Eng.After(rtoAfter(s.P.RTOCycles, c.retries), func() {
+		c.rto = nil
+		s.rt.InjectSend(s.svc.ShardFor(int(id)), kernel.Request{Op: "rto", Key: int(id)}, from)
+	})
+}
+
+func (s *Stack) clearRTO(c *stackConn) {
+	if c.rto != nil {
+		s.rt.Eng.Cancel(c.rto)
+		c.rto = nil
+	}
+}
+
+// rto retransmits a connection's outstanding packets, or tears the
+// connection down after MaxRetries consecutive silent timeouts.
+func (s *Stack) rto(t *core.Thread, st *shardState, id ConnID) {
+	c := st.conns[id]
+	if c == nil {
+		return
+	}
+	pend := c.snd.pending()
+	if len(pend) == 0 {
+		return
+	}
+	if c.retries >= s.P.MaxRetries {
+		s.GaveUp++
+		if !c.finRcvd {
+			c.recvCh.Close(t)
+		}
+		s.retire(st, c, false)
+		return
+	}
+	c.retries++
+	for _, p := range pend {
+		s.transmit(t, p)
+		s.Retransmits++
+	}
+	s.armRTO(t, c)
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's tier-1 gate plus a quick experiment smoke.
+#
+# Usage: scripts/verify.sh [-short]
+#   -short   skip the E14 smoke (build/vet/test only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=0
+[ "${1:-}" = "-short" ] && short=1
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt check"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go test ./..."
+go test ./...
+
+if [ "$short" = "0" ]; then
+    echo "== E14 netstack smoke (quick)"
+    out=$(go run ./cmd/chanos-bench -run E14 -quick)
+    echo "$out"
+    # The table must exist and must not report a dead netstack: every
+    # conns/sec cell being 0.00 means the stack served nothing.
+    echo "$out" | grep -q "E14 / netstack scaling" || {
+        echo "verify: E14 table missing" >&2
+        exit 1
+    }
+    if ! echo "$out" | awk '/^(4|16|64|256) /{ if ($3 != "0.00") ok=1 } END { exit !ok }'; then
+        echo "verify: netstack served zero connections in every configuration" >&2
+        exit 1
+    fi
+fi
+
+echo "verify: OK"
