@@ -53,6 +53,10 @@ func BenchmarkE13VMCluster(b *testing.B)        { benchExperiment(b, "E13") }
 // E14 netstack scaling experiment (cores and shard sweeps).
 func BenchmarkNetstack(b *testing.B) { benchExperiment(b, "E14") }
 
+// BenchmarkStore is the headline stateful-serving benchmark: the full
+// E15 store scaling experiment (cores, store shards, read/write mix).
+func BenchmarkStore(b *testing.B) { benchExperiment(b, "E15") }
+
 // Ablations (design-choice knobs called out in DESIGN.md).
 
 func BenchmarkA1MsgCostSensitivity(b *testing.B)  { benchExperiment(b, "A1") }

@@ -27,6 +27,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/net"
 	"chanos/internal/sim"
+	"chanos/internal/store"
 )
 
 // Re-exported core types: these are the paper's §3 constructs.
@@ -87,6 +88,15 @@ func (s *System) NewNetwork(nic *NIC, p net.WireParams) *Network {
 // NewNetStack registers the connection-sharded netstack service on k.
 func (s *System) NewNetStack(k *kernel.Kernel, nic *NIC, p net.StackParams) *NetStack {
 	return net.NewStack(s.RT, k, nic, p)
+}
+
+// Store is the key-sharded, log-persistent KV storage kernel service.
+type Store = store.Store
+
+// NewStore registers the key-sharded store service on k with fresh
+// per-shard log devices.
+func (s *System) NewStore(k *kernel.Kernel, p store.Params) *Store {
+	return store.New(s.RT, k, p, nil)
 }
 
 // OnCore pins a spawned thread to a core.

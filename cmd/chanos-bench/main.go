@@ -4,26 +4,32 @@
 // Usage:
 //
 //	chanos-bench -list
-//	chanos-bench -run E1 [-seed 7] [-quick] [-csv]
+//	chanos-bench -run E1 [-seed 7] [-quick] [-csv] [-json]
 //	chanos-bench [-quick]    (full suite)
+//
+// -json additionally writes each experiment's tables to BENCH_<id>.json
+// (machine-readable, for CI artifacts and plotting).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"chanos/internal/exp"
+	"chanos/internal/stats"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments")
-		runID = flag.String("run", "", "run one experiment by id (E1..E14, A1..A4)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced sweeps and windows")
-		seed  = flag.Uint64("seed", 42, "simulation seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiments")
+		runID   = flag.String("run", "", "run one experiment by id (E1..E15, A1..A4)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced sweeps and windows")
+		seed    = flag.Uint64("seed", 42, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "also write BENCH_<id>.json per experiment")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -45,21 +51,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chanos-bench: unknown experiment %q (try -list)\n", *runID)
 			os.Exit(1)
 		}
-		emit(e, o, *csv)
+		emit(e, o, *csv, *jsonOut)
 	case *all:
 		fallthrough
 	default:
 		// -all, or bare invocation (with or without -quick/-seed): the
 		// full suite.
 		for _, e := range exp.All() {
-			emit(e, o, *csv)
+			emit(e, o, *csv, *jsonOut)
 		}
 	}
 }
 
-func emit(e exp.Experiment, o exp.Options, csv bool) {
+func emit(e exp.Experiment, o exp.Options, csv, jsonOut bool) {
 	fmt.Printf("# %s — %s\n", e.ID, e.Title)
-	for _, tb := range e.Run(o) {
+	tables := e.Run(o)
+	for _, tb := range tables {
 		if csv {
 			tb.CSV(os.Stdout)
 			fmt.Println()
@@ -67,4 +74,43 @@ func emit(e exp.Experiment, o exp.Options, csv bool) {
 			tb.Fprint(os.Stdout)
 		}
 	}
+	if jsonOut {
+		writeJSON(e, o, tables)
+	}
+}
+
+// benchJSON is the stable machine-readable schema behind -json.
+type benchJSON struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Seed   uint64      `json:"seed"`
+	Quick  bool        `json:"quick"`
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Title string     `json:"title"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+func writeJSON(e exp.Experiment, o exp.Options, tables []*stats.Table) {
+	out := benchJSON{ID: e.ID, Title: e.Title, Seed: o.Seed, Quick: o.Quick}
+	for _, tb := range tables {
+		out.Tables = append(out.Tables, tableJSON{
+			Title: tb.Title, Cols: tb.Cols, Rows: tb.Rows, Notes: tb.Notes,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-bench: marshal %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	name := fmt.Sprintf("BENCH_%s.json", e.ID)
+	if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-bench: write %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", name)
 }

@@ -1,0 +1,140 @@
+// Kvserver: the paper's architecture carrying the ROADMAP's first
+// stateful workload — a key-value store serving a fleet of remote
+// clients. Every hop is a message: requests cross the wire, land on the
+// NIC queue RSS picks, are routed to the netstack shard owning the
+// connection, rise into a per-connection handler thread, drop into the
+// store shard owning the key, and (for writes) ride a group-commit
+// flush to the shard's private log device before the acknowledgement
+// travels all the way back. No locks anywhere on that path.
+//
+// Run: go run ./examples/kvserver [-clients 128] [-requests 20000] [-readpct 70] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"chanos"
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+	"chanos/internal/machine"
+	"chanos/internal/net"
+	"chanos/internal/store"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 64, "simulated cores")
+		clients  = flag.Int("clients", 128, "closed-loop clients on the wire")
+		requests = flag.Int("requests", 20_000, "client requests to serve")
+		readPct  = flag.Int("readpct", 70, "share of requests that are GETs (0-100)")
+		keys     = flag.Int("keys", 4096, "keyspace size")
+		seed     = flag.Uint64("seed", 7, "simulation seed")
+		loss     = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
+	)
+	flag.Parse()
+
+	sys := chanos.New(*cores, chanos.Config{Seed: *seed})
+	defer sys.Shutdown()
+	k := kernel.New(sys.RT, kernel.Config{})
+	nic := sys.NewNIC(machine.NICParams{})
+	wp := net.DefaultWireParams()
+	wp.Seed = *seed
+	wp.LossProb = *loss
+	nw := sys.NewNetwork(nic, wp)
+	st := sys.NewNetStack(k, nic, net.StackParams{})
+	kv := sys.NewStore(k, store.Params{})
+	l := st.Listen(6379)
+
+	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d\n",
+		*cores, kv.Shards(), st.Shards(), *clients, *keys, *readPct, *seed)
+
+	// Accept loop: every connection gets a serving thread.
+	sys.Boot("accept", func(t *chanos.Thread) {
+		for {
+			c, ok := l.Accept(t)
+			if !ok {
+				return
+			}
+			t.Spawn(fmt.Sprintf("kv.%d", c.ID()), func(ht *core.Thread) {
+				store.ServeConn(ht, c, kv)
+			})
+		}
+	})
+
+	// Prefill the keyspace, then drive the shared seeded workload
+	// generator (same one experiment E15 measures): two-tier key
+	// popularity, mixed GET/PUT, responses checked as they arrive.
+	wl := store.NewWorkload(*seed, *clients, *keys, *readPct, 256)
+	filled := false
+	sys.Boot("prefill", func(t *chanos.Thread) {
+		wl.Prefill(t, kv)
+		filled = true
+	})
+	for !filled {
+		sys.RunFor(sys.Cycles(0.0005))
+	}
+	prefillMs := sys.Seconds(sys.Now()) * 1e3
+
+	var notFound, errs uint64
+	pool := net.NewClientPool(nw, net.ClientParams{
+		Port:        6379,
+		Clients:     *clients,
+		ReqsPerConn: 8,
+		ThinkCycles: 2000,
+		Seed:        *seed,
+		MakeReq:     wl.MakeReq,
+		OnResp: func(client, req int, payload core.Msg) {
+			resp, ok := payload.(store.KVResponse)
+			if !ok || resp.Err != "" {
+				errs++
+				return
+			}
+			if !resp.Found && resp.OK && resp.Ver == 0 {
+				notFound++
+			}
+		},
+	})
+
+	// Serve until the fleet has its responses — or stops making progress.
+	slice := sys.Cycles(0.0002)
+	stalled := 0
+	for pool.Responses < uint64(*requests) {
+		before := pool.Responses
+		sys.RunFor(slice)
+		if pool.Responses == before {
+			stalled++
+		} else {
+			stalled = 0
+		}
+		if stalled >= 50 {
+			fmt.Printf("\n  stalled: no responses for %.1f simulated ms; giving up\n",
+				50*sys.Seconds(slice)*1e3)
+			break
+		}
+	}
+
+	elapsed := sys.Seconds(sys.Now())
+	us := func(cycles uint64) float64 { return sys.Seconds(cycles) * 1e6 }
+	hr := 0.0
+	if kv.CacheHits+kv.CacheMisses > 0 {
+		hr = float64(kv.CacheHits) / float64(kv.CacheHits+kv.CacheMisses)
+	}
+	var diskWrites, diskBytes uint64
+	for _, d := range kv.Disks() {
+		diskWrites += d.Writes
+		diskBytes += d.BytesMoved
+	}
+	fmt.Printf("\n  served       %8d requests over %d connections (%d not-found, %d errors)\n",
+		pool.Responses, pool.Completed, notFound, errs)
+	fmt.Printf("  elapsed      %8.2f simulated ms (%.2f ms prefill)  (%.0f ops/sec)\n",
+		elapsed*1e3, prefillMs, float64(pool.Responses)/elapsed)
+	fmt.Printf("  latency      %8.1f us p50   %.1f us p99\n",
+		us(pool.Lat.Percentile(50)), us(pool.Lat.Percentile(99)))
+	fmt.Printf("  store        %8d gets (%.0f%% cache hits), %d puts acked durable, %d deletes\n",
+		kv.Gets, hr*100, kv.AckedWrites, kv.Deletes)
+	fmt.Printf("  log          %8d flushes, %d disk writes, %d MB moved\n",
+		kv.FlushesDone, diskWrites, diskBytes>>20)
+	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
+		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.RxDrops)
+}

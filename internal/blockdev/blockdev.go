@@ -93,6 +93,28 @@ func NewDisk(rt *core.Runtime, p DiskParams) *Disk {
 	return &Disk{rt: rt, P: p, data: make(map[int][]byte), progOwner: -1}
 }
 
+// NewDiskFrom creates a disk whose initial contents are data — platters
+// carried over from a previous life (see SnapshotData), e.g. to reboot a
+// crashed machine's storage into a fresh simulation for recovery.
+func NewDiskFrom(rt *core.Runtime, p DiskParams, data map[int][]byte) *Disk {
+	d := NewDisk(rt, p)
+	for blk, buf := range data {
+		d.data[blk] = append([]byte(nil), buf...)
+	}
+	return d
+}
+
+// SnapshotData deep-copies the disk's committed contents as they stand
+// at this instant. Writes still in flight (their completion event not
+// yet fired) are absent — exactly what a power cut would leave behind.
+func (d *Disk) SnapshotData() map[int][]byte {
+	out := make(map[int][]byte, len(d.data))
+	for blk, buf := range d.data {
+		out[blk] = append([]byte(nil), buf...)
+	}
+	return out
+}
+
 // progWindow is how long programming a request takes: reading the free
 // submission slot, building the scatter-gather list, writing the
 // registers, ringing the doorbell. Another thread entering this window

@@ -238,11 +238,39 @@ func TestE14NetstackScalesWithCoresAndShards(t *testing.T) {
 	}
 }
 
+// --- E15: store scaling ---
+
+// TestE15StoreScalesWithCores is the tentpole acceptance check: ops/sec
+// through the full client→wire→netstack→store→log path must grow
+// monotonically over a 4→64 core sweep with store shards = cores.
+func TestE15StoreScalesWithCores(t *testing.T) {
+	window := sim.Time(4_000_000)
+	at4 := e15Run(q, 4, 4, 96, 70, window)
+	at16 := e15Run(q, 16, 16, 96, 70, window)
+	at64 := e15Run(q, 64, 64, 96, 70, window)
+	if !(at4.opsPerSec < at16.opsPerSec && at16.opsPerSec < at64.opsPerSec) {
+		t.Fatalf("ops/sec should grow with cores: %.0f @4, %.0f @16, %.0f @64",
+			at4.opsPerSec, at16.opsPerSec, at64.opsPerSec)
+	}
+	if at64.p99Us >= at4.p99Us {
+		t.Fatalf("p99 should shrink with cores: %.1fus @4 vs %.1fus @64", at4.p99Us, at64.p99Us)
+	}
+	if at4.ackedWrites == 0 || at64.hitRate <= 0 {
+		t.Fatalf("store served no real traffic: %+v", at4)
+	}
+	one := e15Run(q, 64, 1, 96, 50, window)
+	two := e15Run(q, 64, 2, 96, 50, window)
+	if two.opsPerSec < one.opsPerSec {
+		t.Fatalf("2 store shards (%.0f ops/s) should serve at least 1 shard (%.0f ops/s)",
+			two.opsPerSec, one.opsPerSec)
+	}
+}
+
 // --- registry and full-suite smoke ---
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
-		"E14", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -43,6 +43,17 @@ func (r Request) MsgBytes() int {
 // messages (to drivers, allocators, other services).
 type Handler func(t *core.Thread, req Request) core.Msg
 
+// deferredReply is the sentinel type behind Deferred.
+type deferredReply struct{}
+
+// Deferred, returned from a Handler, tells the service loop not to send
+// a reply now: the handler has retained req.Reply and will answer later,
+// when some follow-up message (a disk interrupt, a flush timer) re-enters
+// the shard. This is how a service stays lock-free and non-blocking while
+// an operation spans I/O: the in-flight state lives in the shard's
+// private tables, and the eventual completion message finds it there.
+var Deferred core.Msg = deferredReply{}
+
 // Service is a named, sharded kernel component.
 type Service struct {
 	Name    string
@@ -61,6 +72,12 @@ func (s *Service) ShardFor(key int) *core.Chan {
 
 // Shards returns the number of shards.
 func (s *Service) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's request channel directly, bypassing key
+// routing — for self-addressed service messages (a shard arranging its
+// own timer tick or completion interrupt must reach itself regardless of
+// how client keys are hashed).
+func (s *Service) Shard(i int) *core.Chan { return s.shards[i] }
 
 // Kernel is a running chanOS instance: a set of kernel cores and the
 // services placed on them.
@@ -179,7 +196,7 @@ func (k *Kernel) RegisterEach(name string, shards int, mk func(shard int) Handle
 				req := v.(Request)
 				out := h(t, req)
 				s.Ops++
-				if req.Reply != nil {
+				if req.Reply != nil && out != Deferred {
 					req.Reply.Send(t, out)
 				}
 			}

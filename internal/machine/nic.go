@@ -98,14 +98,30 @@ func NewNIC(m *Machine, p NICParams) *NIC {
 // Queues returns the number of RX/TX queue pairs.
 func (n *NIC) Queues() int { return n.P.Queues }
 
+// HashMix scrambles a flow/object key with the splitmix64 finalizer.
+// Keys handed to the device (and to sharded kernel services) are often
+// sequential — connection ids count up from 1 — and a bare modulo strides
+// them through queues in lockstep, so whichever residues the live
+// connections happen to occupy get all the traffic (the E14b shard
+// imbalance). Mixing first makes any key sequence land uniformly. The
+// result is masked to 31 bits so it is non-negative on every platform
+// (int is 32 bits on 386/arm), which queue and shard counts never
+// approach anyway.
+func HashMix(key int) int {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & 0x7fffffff)
+}
+
 // QueueFor hashes a flow key onto an RX queue — the device's RSS
 // (receive-side scaling) function, which keeps one connection's packets
 // on one queue and spreads distinct connections across queues.
 func (n *NIC) QueueFor(key int) int {
-	if key < 0 {
-		key = -key
-	}
-	return key % n.P.Queues
+	return HashMix(key) % n.P.Queues
 }
 
 // OnReceive registers the host handler invoked (engine context) when a

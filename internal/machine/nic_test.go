@@ -91,3 +91,20 @@ func TestNICRSSStable(t *testing.T) {
 		t.Fatalf("RSS used %d of 8 queues", len(seen))
 	}
 }
+
+// TestNICRSSMixesStridedKeys: keys striding by the queue count (the
+// residue pattern live connection ids fall into when a fleet churns)
+// must still spread across queues — a bare modulo would pin every one
+// of them to a single queue.
+func TestNICRSSMixesStridedKeys(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, DefaultParams(8))
+	nic := NewNIC(m, NICParams{})
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[nic.QueueFor(3+8*i)] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("strided keys hit only %d of 8 queues", len(seen))
+	}
+}

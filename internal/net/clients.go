@@ -21,7 +21,10 @@ type ClientParams struct {
 	// MakeReq builds request payloads; nil sends the request index with
 	// a 128-byte wire size.
 	MakeReq func(client, req int) (payload core.Msg, bytes int)
-	Seed    uint64
+	// OnResp, if set, observes each response payload (engine context) —
+	// for workloads that check what came back, not just that it came.
+	OnResp func(client, req int, payload core.Msg)
+	Seed   uint64
 }
 
 // ClientPool runs the client fleet and accumulates results.
@@ -87,9 +90,12 @@ func (cp *ClientPool) dial(i int, rng *sim.RNG) {
 	}
 	cp.net.Dial(cp.p.Port, EndpointHooks{
 		OnOpen: sendNext,
-		OnMessage: func(ep *Endpoint, _ core.Msg, _ int) {
+		OnMessage: func(ep *Endpoint, payload core.Msg, _ int) {
 			cp.Responses++
 			cp.Lat.Add(cp.net.Eng.Now() - t0)
+			if cp.p.OnResp != nil {
+				cp.p.OnResp(i, sent-1, payload)
+			}
 			if sent >= cp.p.ReqsPerConn {
 				ep.Close()
 				return

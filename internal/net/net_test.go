@@ -350,6 +350,64 @@ func TestSlowReaderShedsNotWedges(t *testing.T) {
 	}
 }
 
+// TestReceiveWindowThrottles: a burst far larger than the socket buffer
+// must be paced by the advertised receive window — most of it held at
+// the sender — rather than shed and retransmitted wholesale. Everything
+// still arrives, in order.
+func TestReceiveWindowThrottles(t *testing.T) {
+	const n = 64
+	w := newTW(8, 1, WireParams{DelayCycles: 2_000, RTOCycles: 40_000}, 23)
+	defer w.rt.Shutdown()
+	w.st.P.RecvBuf = 4
+	var got []int
+	l := w.st.Listen(80)
+	w.rt.Boot("accept", func(at *core.Thread) {
+		for {
+			c, ok := l.Accept(at)
+			if !ok {
+				return
+			}
+			at.Spawn("conn", func(ht *core.Thread) {
+				for {
+					v, ok := c.Recv(ht)
+					if !ok {
+						break
+					}
+					ht.Sleep(30_000) // reader slower than the wire
+					got = append(got, v.(int))
+				}
+				c.Close(ht)
+			})
+		}
+	})
+	w.nw.Dial(80, EndpointHooks{
+		OnOpen: func(ep *Endpoint) {
+			for i := 0; i < n; i++ {
+				ep.Send(i, 64)
+			}
+			ep.Close()
+		},
+	})
+	w.rt.Run()
+
+	if len(got) != n {
+		t.Fatalf("reader got %d of %d messages: %v", len(got), n, got)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+	if w.nw.WindowDeferred < n/2 {
+		t.Fatalf("window deferred only %d of a %d burst into a 4-slot buffer", w.nw.WindowDeferred, n)
+	}
+	// Without windows the whole overflow retransmits every RTO until the
+	// reader catches up; with them, sheds are limited to probe overshoot.
+	if w.st.RecvFull >= n {
+		t.Fatalf("socket buffer shed %d packets; the window should have stopped the sender", w.st.RecvFull)
+	}
+}
+
 // TestAcceptBacklogSheds: a listener nobody accepts from sheds SYNs once
 // its backlog fills, and the shed clients eventually give up.
 func TestAcceptBacklogSheds(t *testing.T) {

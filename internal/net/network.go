@@ -68,6 +68,7 @@ type Network struct {
 	WireDrops        uint64
 	Retransmits      uint64 // endpoint-side retransmissions
 	GaveUp           uint64 // endpoints that exhausted MaxRetries
+	WindowDeferred   uint64 // sends held back by the peer's receive window
 }
 
 // NewNetwork builds the wire and claims the NIC's transmit side.
@@ -181,7 +182,10 @@ func (n *Network) Dial(port int, hooks EndpointHooks) *Endpoint {
 // Open reports whether the handshake has completed.
 func (ep *Endpoint) Open() bool { return ep.open }
 
-// Send puts one payload on the wire with the given simulated size.
+// Send puts one payload on the wire with the given simulated size — or
+// queues it locally when the server's advertised receive window is
+// closed, instead of blasting packets the peer would only shed. Queued
+// payloads go out as acks reopen the window.
 func (ep *Endpoint) Send(payload core.Msg, bytes int) {
 	if !ep.open {
 		panic(fmt.Sprintf("net: send on unopened connection %d", ep.ID))
@@ -189,19 +193,26 @@ func (ep *Endpoint) Send(payload core.Msg, bytes int) {
 	if ep.closed {
 		return
 	}
-	p := ep.snd.packetize(Packet{Conn: ep.ID, Port: ep.Port, Flags: DATA, Bytes: bytes, Payload: payload})
-	ep.net.toHost(p)
+	rel := ep.snd.submit(Packet{Conn: ep.ID, Port: ep.Port, Flags: DATA, Bytes: bytes, Payload: payload})
+	if len(rel) == 0 {
+		ep.net.WindowDeferred++
+	}
+	for _, p := range rel {
+		ep.net.toHost(p)
+	}
 	ep.armRTO()
 }
 
-// Close sends the FIN (sequenced after all data).
+// Close sends the FIN (sequenced after all data, including data still
+// queued behind the window).
 func (ep *Endpoint) Close() {
 	if ep.closed || !ep.open {
 		return
 	}
 	ep.closed = true
-	p := ep.snd.packetize(Packet{Conn: ep.ID, Port: ep.Port, Flags: FIN})
-	ep.net.toHost(p)
+	for _, p := range ep.snd.submit(Packet{Conn: ep.ID, Port: ep.Port, Flags: FIN}) {
+		ep.net.toHost(p)
+	}
 	ep.armRTO()
 }
 
@@ -265,6 +276,7 @@ func (ep *Endpoint) handle(p Packet) {
 		}
 		ep.open = true
 		ep.retries = 0
+		ep.snd.setWindow(p.Window, 0) // server's initial receive window
 		ep.cancelRTO()
 		if ep.hooks.OnOpen != nil {
 			ep.hooks.OnOpen(ep)
@@ -272,15 +284,24 @@ func (ep *Endpoint) handle(p Packet) {
 
 	case p.Flags&ACK != 0:
 		ep.retries = 0
-		if !ep.snd.ack(p.Ack) {
+		ep.snd.setWindow(p.Window, p.Ack)
+		outstanding := ep.snd.ack(p.Ack)
+		for _, q := range ep.snd.drain() {
+			ep.net.toHost(q) // window reopened: release queued sends
+		}
+		if !outstanding {
 			ep.cancelRTO()
 			ep.maybeReap()
+		} else if len(ep.snd.pending()) > 0 {
+			ep.armRTO()
 		}
 
 	case p.Flags&(DATA|FIN) != 0:
 		run := ep.rcv.accept(p)
 		// Always re-ack: the peer retransmits until it hears from us.
-		ep.net.toHost(Packet{Conn: ep.ID, Port: ep.Port, Flags: ACK, Ack: ep.rcv.cumAck()})
+		// Endpoints deliver straight into callbacks — no buffer to fill —
+		// so they advertise an effectively unlimited window.
+		ep.net.toHost(Packet{Conn: ep.ID, Port: ep.Port, Flags: ACK, Ack: ep.rcv.cumAck(), Window: defaultWindow})
 		for _, q := range run {
 			if q.Flags&FIN != 0 {
 				ep.done = true
@@ -297,7 +318,7 @@ func (ep *Endpoint) handle(p Packet) {
 
 // maybeReap removes the endpoint once both directions are finished.
 func (ep *Endpoint) maybeReap() {
-	if ep.done && ep.closed && len(ep.snd.pending()) == 0 {
+	if ep.done && ep.closed && ep.snd.done() {
 		ep.cancelRTO()
 		delete(ep.net.eps, ep.ID)
 	}

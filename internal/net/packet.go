@@ -55,9 +55,12 @@ const headerBytes = 40
 
 // Packet is one unit of wire transfer. DATA and FIN packets carry a
 // per-direction sequence number starting at 1; ACKs carry the highest
-// contiguous sequence received. Bytes is the simulated payload size
-// (Payload itself is host data and travels by reference — the wire cost
-// model charges Bytes, not the host representation).
+// contiguous sequence received plus the receiver's advertised window
+// (free socket-buffer slots, in packets) — a full buffer advertises 0
+// and the sender stops instead of blasting into retransmission. Bytes
+// is the simulated payload size (Payload itself is host data and
+// travels by reference — the wire cost model charges Bytes, not the
+// host representation).
 type Packet struct {
 	Conn    ConnID
 	Port    int
@@ -65,42 +68,98 @@ type Packet struct {
 	Ack     uint64
 	Flags   Flags
 	Bytes   int
+	Window  int
 	Payload core.Msg
 }
 
 // MsgBytes implements core.Sized.
 func (p Packet) MsgBytes() int { return headerBytes + p.Bytes }
 
+// defaultWindow is the window assumed for a peer that has no receive
+// buffer to fill (remote endpoints deliver straight into callbacks) —
+// effectively "no flow-control limit".
+const defaultWindow = 1 << 16
+
 // sendFlow is the sending half of one direction of a connection: it
-// assigns sequence numbers and keeps unacknowledged packets for
-// retransmission. Both stack connections and remote endpoints embed one.
+// assigns sequence numbers, keeps unacknowledged packets for
+// retransmission, and holds submissions back while the peer's advertised
+// receive window is full. Both stack connections and remote endpoints
+// embed one.
 type sendFlow struct {
 	nextSeq uint64
 	unacked []Packet
+	queued  []Packet // submitted but unsequenced: waiting for window
+	wnd     int      // peer's advertised receive window, in packets
+	wndAck  uint64   // newest cumulative ack that updated the window
 }
 
-// packetize stamps the next sequence number on a DATA or FIN packet and
-// retains it until acknowledged.
-func (s *sendFlow) packetize(p Packet) Packet {
-	s.nextSeq++
-	p.Seq = s.nextSeq
-	s.unacked = append(s.unacked, p)
-	return p
+// window returns the usable window. A zero advertisement degrades to a
+// single in-flight packet: the classic zero-window probe, retransmitted
+// on the RTO until the peer's buffer drains and its acks reopen the
+// window — without it the flow would deadlock, since a receiver with a
+// full buffer has no other reason to send another ack.
+func (s *sendFlow) window() int {
+	if s.wnd <= 0 {
+		return 1
+	}
+	return s.wnd
+}
+
+// submit accepts one DATA or FIN packet and returns the packets now
+// sendable (sequence-stamped, retained for retransmission). A closed
+// window queues the submission instead; acks release it later via drain.
+func (s *sendFlow) submit(p Packet) []Packet {
+	s.queued = append(s.queued, p)
+	return s.drain()
+}
+
+// drain moves queued packets into the window, stamping sequence numbers
+// in submission order, and returns the ones to transmit now.
+func (s *sendFlow) drain() []Packet {
+	var out []Packet
+	for len(s.queued) > 0 && len(s.unacked) < s.window() {
+		p := s.queued[0]
+		s.queued = s.queued[1:]
+		s.nextSeq++
+		p.Seq = s.nextSeq
+		s.unacked = append(s.unacked, p)
+		out = append(out, p)
+	}
+	return out
+}
+
+// setWindow records the peer's advertised window, ignoring updates
+// carried by acks older than the newest seen: jitter reorders acks, and
+// a stale zero-window from before the peer's buffer drained must not
+// re-throttle a flow a newer ack already reopened. Equal-ack updates
+// are accepted — while the cumulative ack is pinned (buffer full), each
+// re-ack carries the freshest window.
+func (s *sendFlow) setWindow(w int, ack uint64) {
+	if ack < s.wndAck {
+		return
+	}
+	s.wndAck = ack
+	s.wnd = w
 }
 
 // ack drops packets covered by the cumulative ack and reports whether
-// anything is still outstanding.
+// anything is still outstanding (in flight or queued behind the window).
 func (s *sendFlow) ack(cum uint64) (outstanding bool) {
 	i := 0
 	for i < len(s.unacked) && s.unacked[i].Seq <= cum {
 		i++
 	}
 	s.unacked = s.unacked[i:]
-	return len(s.unacked) > 0
+	return len(s.unacked) > 0 || len(s.queued) > 0
 }
 
-// pending returns the unacknowledged packets, oldest first.
+// pending returns the unacknowledged in-flight packets, oldest first.
+// Queued-behind-window packets are not pending: they have no sequence
+// number yet and must not be retransmitted.
 func (s *sendFlow) pending() []Packet { return s.unacked }
+
+// done reports whether every submission has been sent and acknowledged.
+func (s *sendFlow) done() bool { return len(s.unacked) == 0 && len(s.queued) == 0 }
 
 // recvFlow is the receiving half: it reassembles the sequence space,
 // holding out-of-order arrivals until the gap fills.

@@ -13,7 +13,8 @@ import (
 // StackParams tunes the netstack service.
 type StackParams struct {
 	// Shards is the number of netstack handler threads; connections are
-	// routed to shard ConnID % Shards. 0 = one shard per kernel core.
+	// routed to shard machine.HashMix(ConnID) % Shards (mixed so churning
+	// sequential ids spread evenly). 0 = one shard per kernel core.
 	Shards int
 	// AcceptBacklog is the listener accept-channel capacity; a SYN that
 	// finds it full is shed (the client retries). Default 64.
@@ -163,14 +164,14 @@ func (c *Conn) Recv(t *core.Thread) (core.Msg, bool) {
 
 // Send transmits one payload with the given simulated wire size.
 func (c *Conn) Send(t *core.Thread, payload core.Msg, bytes int) {
-	c.stack.svc.ShardFor(int(c.id)).Send(t, kernel.Request{
+	c.stack.shardChan(c.id).Send(t, kernel.Request{
 		Op: "tx", Key: int(c.id), Arg: txReq{Payload: payload, Bytes: bytes},
 	})
 }
 
 // Close sends the FIN after all queued data.
 func (c *Conn) Close(t *core.Thread) {
-	c.stack.svc.ShardFor(int(c.id)).Send(t, kernel.Request{Op: "close", Key: int(c.id)})
+	c.stack.shardChan(c.id).Send(t, kernel.Request{Op: "close", Key: int(c.id)})
 }
 
 // Stack is the netstack: a sharded kernel service bridging the NIC to
@@ -207,7 +208,7 @@ func NewStack(rt *core.Runtime, k *kernel.Kernel, nic *machine.NIC, p StackParam
 			nic.RxDone(queue)
 			return
 		}
-		rt.InjectSend(s.svc.ShardFor(int(pkt.Conn)), kernel.Request{
+		rt.InjectSend(s.shardChan(pkt.Conn), kernel.Request{
 			Op: "rx", Key: int(pkt.Conn), Arg: rxFrame{Queue: queue, Pkt: pkt},
 		}, queue%rt.NumCores())
 	})
@@ -216,6 +217,13 @@ func NewStack(rt *core.Runtime, k *kernel.Kernel, nic *machine.NIC, p StackParam
 
 // Shards returns the number of netstack shards.
 func (s *Stack) Shards() int { return s.svc.Shards() }
+
+// shardChan routes a connection to its owning shard. The id is mixed
+// (same hash as the NIC's RSS) so the live-connection id pattern —
+// sequential, churning — spreads evenly instead of striding.
+func (s *Stack) shardChan(id ConnID) *core.Chan {
+	return s.svc.ShardFor(machine.HashMix(int(id)))
+}
 
 // Listen binds a port and returns its listener.
 func (s *Stack) Listen(port int) *Listener {
@@ -279,7 +287,7 @@ func (s *Stack) ensureSweep(t *core.Thread, st *shardState) {
 	st.sweepArmed = true
 	from := t.Core()
 	s.rt.Eng.After(s.P.IdleCycles/4, func() {
-		s.rt.InjectSend(s.svc.ShardFor(st.id), kernel.Request{Op: "sweep", Key: st.id}, from)
+		s.rt.InjectSend(s.svc.Shard(st.id), kernel.Request{Op: "sweep", Key: st.id}, from)
 	})
 }
 
@@ -319,7 +327,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 			// Duplicate SYN: our SYNACK was lost or is in flight. The
 			// retry proves the peer is alive — keep the idle sweep away.
 			c.lastRx = s.rt.Eng.Now()
-			s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK})
+			s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
 			return
 		}
 		if rec, was := st.closed[p.Conn]; was {
@@ -336,6 +344,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		c := &stackConn{
 			id:     p.Conn,
 			port:   p.Port,
+			snd:    sendFlow{wnd: defaultWindow},
 			recvCh: t.NewChan(fmt.Sprintf("conn.%d.recv", p.Conn), s.P.RecvBuf),
 			lastRx: s.rt.Eng.Now(),
 		}
@@ -346,7 +355,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		}
 		st.conns[p.Conn] = c
 		s.Accepts++
-		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK})
+		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
 		s.ensureSweep(t, st)
 
 	case p.Flags&ACK != 0:
@@ -356,7 +365,15 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		}
 		c.lastRx = s.rt.Eng.Now()
 		c.retries = 0
-		if !c.snd.ack(p.Ack) {
+		c.snd.setWindow(p.Window, p.Ack)
+		outstanding := c.snd.ack(p.Ack)
+		for _, q := range c.snd.drain() {
+			s.transmit(t, q) // the peer's window reopened: release queued data
+		}
+		if len(c.snd.pending()) > 0 {
+			s.armRTO(t, c)
+		}
+		if !outstanding {
 			s.clearRTO(c)
 			if c.finSent && c.finRcvd {
 				s.retire(st, c, true) // fully closed and acknowledged
@@ -375,7 +392,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 				// uncleanly retired connection (idle-reaped, gave up)
 				// must stay silent: acking would claim delivery of data
 				// that was dropped.
-				s.transmit(t, Packet{Conn: p.Conn, Port: p.Port, Flags: ACK, Ack: p.Seq})
+				s.transmit(t, Packet{Conn: p.Conn, Port: p.Port, Flags: ACK, Ack: p.Seq, Window: defaultWindow})
 			}
 			return
 		}
@@ -385,7 +402,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 			if q.Flags&FIN != 0 {
 				c.finRcvd = true
 				c.recvCh.Close(t)
-				if c.finSent && len(c.snd.pending()) == 0 {
+				if c.finSent && c.snd.done() {
 					s.retire(st, c, true)
 				}
 			} else if c.recvCh.TrySend(t, q.Payload) {
@@ -402,9 +419,24 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 			}
 		}
 		// Ack what was actually taken — and re-ack duplicates, so a peer
-		// whose ack was lost stops retransmitting.
-		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: ACK, Ack: c.rcv.cumAck()})
+		// whose ack was lost stops retransmitting. The advertised window
+		// tells the peer how much more the socket buffer can take: 0
+		// throttles it to probes instead of a retransmit storm.
+		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: ACK, Ack: c.rcv.cumAck(), Window: s.advWindow(c)})
 	}
+}
+
+// advWindow is the receive window advertised for a connection: free
+// slots in its socket buffer. The reassembly queue is not subtracted —
+// held out-of-order packets were charged to the wire already and will
+// be delivered or shed when their gap fills; the shed path remains the
+// safety net for the overshoot.
+func (s *Stack) advWindow(c *stackConn) int {
+	w := c.recvCh.Cap() - c.recvCh.Len()
+	if w < 0 {
+		w = 0
+	}
+	return w
 }
 
 // timeWait is how long a finished connection id stays in the TIME_WAIT
@@ -430,10 +462,16 @@ func (s *Stack) retire(st *shardState, c *stackConn, clean bool) {
 	}
 }
 
-// sendSeq stamps, transmits and tracks a sequenced packet.
+// sendSeq submits a sequenced packet: whatever the peer's window admits
+// goes on the wire now (tracked for retransmission), the rest queues
+// until acks reopen the window.
 func (s *Stack) sendSeq(t *core.Thread, c *stackConn, p Packet) {
-	s.transmit(t, c.snd.packetize(p))
-	s.armRTO(t, c)
+	for _, q := range c.snd.submit(p) {
+		s.transmit(t, q)
+	}
+	if len(c.snd.pending()) > 0 {
+		s.armRTO(t, c)
+	}
 }
 
 // transmit pays the descriptor cost and hands the packet to this core's
@@ -458,7 +496,7 @@ func (s *Stack) armRTO(t *core.Thread, c *stackConn) {
 	id, from := c.id, t.Core()
 	c.rto = s.rt.Eng.After(rtoAfter(s.P.RTOCycles, c.retries), func() {
 		c.rto = nil
-		s.rt.InjectSend(s.svc.ShardFor(int(id)), kernel.Request{Op: "rto", Key: int(id)}, from)
+		s.rt.InjectSend(s.shardChan(id), kernel.Request{Op: "rto", Key: int(id)}, from)
 	})
 }
 

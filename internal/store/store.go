@@ -1,0 +1,674 @@
+// Package store is the chanOS key-value storage service: the repo's
+// first stateful kernel service, built exactly the way the paper (§4)
+// says kernel components should be built. The service is sharded by key
+// hash via kernel.RegisterEach — each shard's handler thread owns a
+// private index, an LRU block cache and the tail of its own
+// log-structured persistence region, so there are no locks anywhere.
+// Every external event re-enters the shard as an ordinary service
+// message: the group-commit flush timer ("flush"), the disk completion
+// interrupt ("flushed"), the cache-miss read completion ("readdone") —
+// the same discipline the netstack uses for its "rto".
+//
+// Persistence is a per-shard append-only log on a per-shard block
+// device (a disk-array stripe): PUT and DELETE append self-describing
+// records to the open tail block, acknowledgements are deferred
+// (kernel.Deferred) until the group-commit write that carries the
+// record completes, and recovery replays the log front to back — so an
+// acknowledged write provably survives a crash, and an unacknowledged
+// one provably does not outlive the flush it was waiting on.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chanos/internal/blockdev"
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+)
+
+// Params tunes the store service.
+type Params struct {
+	// Shards is the number of store handler threads (and log devices);
+	// keys are routed by FNV-1a hash. 0 = one shard per kernel core.
+	Shards int
+	// CacheBlocks is the per-shard LRU block cache capacity, in sealed
+	// log blocks. Default 64 (256 KB of hot values per shard).
+	CacheBlocks int
+	// FlushCycles is the group-commit interval: how long an appended
+	// record may wait before the open block is written back. Shorter
+	// means lower write latency, more (smaller) disk writes. Default
+	// 50_000 (25 µs).
+	FlushCycles uint64
+	// LogBlocks is the per-shard log region size in blocks. A full
+	// region fails further writes (compaction is a ROADMAP item).
+	// Default 8192.
+	LogBlocks int
+	// Disk overrides the per-shard log device model; zero-valued fields
+	// take blockdev.DefaultDiskParams(LogBlocks).
+	Disk blockdev.DiskParams
+}
+
+func (p *Params) fill() {
+	if p.CacheBlocks <= 0 {
+		p.CacheBlocks = 64
+	}
+	if p.FlushCycles == 0 {
+		p.FlushCycles = 50_000
+	}
+	if p.LogBlocks <= 0 {
+		p.LogBlocks = 8192
+	}
+	def := blockdev.DefaultDiskParams(p.LogBlocks)
+	if p.Disk.NumBlocks <= 0 {
+		p.Disk.NumBlocks = p.LogBlocks
+	}
+	if p.Disk.BlockSize <= 0 {
+		p.Disk.BlockSize = def.BlockSize
+	}
+	if p.Disk.AccessCycles == 0 {
+		p.Disk.AccessCycles = def.AccessCycles
+	}
+	if p.Disk.CyclesPerByt == 0 {
+		p.Disk.CyclesPerByt = def.CyclesPerByt
+	}
+	if p.Disk.IRQCycles == 0 {
+		p.Disk.IRQCycles = def.IRQCycles
+	}
+}
+
+// GetResult answers a GET.
+type GetResult struct {
+	Found bool
+	Ver   uint64
+	Val   []byte
+	Err   string
+}
+
+// MsgBytes implements core.Sized.
+func (r GetResult) MsgBytes() int { return 24 + len(r.Val) + len(r.Err) }
+
+// WriteResult answers a PUT or DELETE. Ver is the version the write
+// created (for DELETE, the tombstone's version); Found reports whether
+// the key existed before a DELETE.
+type WriteResult struct {
+	OK    bool
+	Found bool
+	Ver   uint64
+	Err   string
+}
+
+// MsgBytes implements core.Sized.
+func (r WriteResult) MsgBytes() int { return 24 + len(r.Err) }
+
+// ScanResult answers a SCAN: matching keys in sorted order with their
+// current versions. Values are deliberately not carried — a scan reads
+// the index, not the log.
+type ScanResult struct {
+	Keys []string
+	Vers []uint64
+}
+
+// MsgBytes implements core.Sized.
+func (r ScanResult) MsgBytes() int {
+	n := 16 + 8*len(r.Vers)
+	for _, k := range r.Keys {
+		n += 8 + len(k)
+	}
+	return n
+}
+
+// Service request arguments.
+type getArg struct{ Key string }
+
+func (a getArg) MsgBytes() int { return 16 + len(a.Key) }
+
+type putArg struct {
+	Key string
+	Val []byte
+}
+
+func (a putArg) MsgBytes() int { return 24 + len(a.Key) + len(a.Val) }
+
+type delArg struct{ Key string }
+
+func (a delArg) MsgBytes() int { return 16 + len(a.Key) }
+
+type scanArg struct {
+	Prefix string
+	Limit  int
+}
+
+func (a scanArg) MsgBytes() int { return 24 + len(a.Prefix) }
+
+// flushDone is the disk interrupt for a completed log write: it carries
+// the acknowledgements the write made durable back into the shard.
+type flushDone struct {
+	batch []pendingWrite
+	ok    bool
+	err   string
+}
+
+func (flushDone) MsgBytes() int { return 32 }
+
+// readDone is the disk interrupt for a completed cache-miss read.
+type readDone struct {
+	block int
+	data  []byte
+	ok    bool
+	err   string
+}
+
+func (r readDone) MsgBytes() int { return 32 + len(r.data) }
+
+// Log record encoding, little-endian:
+//
+//	[1B op] [2B keylen] [4B vallen] [8B version] key val
+//
+// op 0 terminates a block (freshly-written disk blocks are zero-filled,
+// so the terminator comes free). Records never span blocks.
+const (
+	recEnd = 0
+	recPut = 1
+	recDel = 2
+
+	recHeader = 1 + 2 + 4 + 8
+)
+
+func encRecord(buf []byte, op byte, key string, val []byte, ver uint64) []byte {
+	var h [recHeader]byte
+	h[0] = op
+	binary.LittleEndian.PutUint16(h[1:3], uint16(len(key)))
+	binary.LittleEndian.PutUint32(h[3:7], uint32(len(val)))
+	binary.LittleEndian.PutUint64(h[7:15], ver)
+	buf = append(buf, h[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	return buf
+}
+
+// decRecord parses one record at b[off:]. n is the record's full length
+// (0 at a terminator or a truncated/corrupt tail).
+func decRecord(b []byte, off int) (op byte, key string, valOff, valLen int, ver uint64, n int) {
+	if off >= len(b) || b[off] == recEnd {
+		return recEnd, "", 0, 0, 0, 0
+	}
+	if off+recHeader > len(b) {
+		return recEnd, "", 0, 0, 0, 0
+	}
+	op = b[off]
+	klen := int(binary.LittleEndian.Uint16(b[off+1 : off+3]))
+	vlen := int(binary.LittleEndian.Uint32(b[off+3 : off+7]))
+	ver = binary.LittleEndian.Uint64(b[off+7 : off+15])
+	if op != recPut && op != recDel {
+		return recEnd, "", 0, 0, 0, 0
+	}
+	end := off + recHeader + klen + vlen
+	if end > len(b) {
+		return recEnd, "", 0, 0, 0, 0
+	}
+	key = string(b[off+recHeader : off+recHeader+klen])
+	return op, key, off + recHeader + klen, vlen, ver, recHeader + klen + vlen
+}
+
+// keyHash routes a key to a shard: FNV-1a 64, masked non-negative.
+func keyHash(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h & (1<<63 - 1))
+}
+
+// loc is an index entry: where a key's current value lives in the log.
+// Log records never move (blocks are append-only and sealed blocks are
+// immutable), so a loc stays valid for the life of the key version.
+// A dead loc is a tombstone: the key reads as absent, but its version
+// is retained so a re-created key continues the version sequence — a
+// client holding (key, version) must never see a different value under
+// the same version.
+type loc struct {
+	block int
+	off   int // offset of the value bytes within the block
+	vlen  int
+	ver   uint64
+	dead  bool
+}
+
+// pendingWrite is an acknowledgement waiting for its record's block
+// write to complete (group commit).
+type pendingWrite struct {
+	reply *core.Chan
+	res   WriteResult
+}
+
+// pendingRead is a GET waiting for its block to come back from disk.
+type pendingRead struct {
+	reply *core.Chan
+	l     loc
+}
+
+// shard is one handler thread's private world. No locks: only the shard
+// thread (and, for stats, the single-goroutine simulation host) touches
+// it.
+type shard struct {
+	id   int
+	s    *Store
+	disk *blockdev.Disk
+
+	idx   map[string]loc
+	cache *lruCache
+
+	open       []byte // contents of the open (tail) log block
+	openBlock  int
+	dirty      int            // records appended since the last flush was issued
+	waiters    []pendingWrite // acks riding on the next flush
+	flushArmed bool
+
+	reads map[int][]pendingRead // block -> GETs awaiting its disk read
+}
+
+// Store is the sharded key-value kernel service.
+type Store struct {
+	rt  *core.Runtime
+	k   *kernel.Kernel
+	svc *kernel.Service
+	P   Params
+
+	disks []*blockdev.Disk
+
+	// Stats (single simulation goroutine: plain counters, like the
+	// netstack's).
+	Gets, Puts, Deletes, Scans  uint64
+	CacheHits, CacheMisses      uint64
+	FlushesStarted, FlushesDone uint64
+	FlushedRecords              uint64
+	AckedWrites                 uint64 // write acks sent (durability confirmed)
+	Replayed                    uint64 // records replayed during recovery
+	LogFull                     uint64 // writes refused: log region exhausted
+}
+
+// New registers the "store" service on k's kernel cores. disks carries
+// storage over from a previous life — pass the SnapshotData of each
+// shard's log device (in shard order) to recover after a crash; nil
+// boots fresh per-shard devices. Recovery replays each shard's log
+// before any queued request is served (the replay message is first in
+// every shard's FIFO).
+func New(rt *core.Runtime, k *kernel.Kernel, p Params, disks []*blockdev.Disk) *Store {
+	p.fill()
+	shards := p.Shards
+	if shards <= 0 {
+		shards = len(k.KernelCores())
+	}
+	s := &Store{rt: rt, k: k, P: p}
+	recover := disks != nil
+	if recover {
+		if len(disks) != shards {
+			panic(fmt.Sprintf("store: %d disks for %d shards", len(disks), shards))
+		}
+		s.disks = disks
+	} else {
+		for i := 0; i < shards; i++ {
+			s.disks = append(s.disks, blockdev.NewDisk(rt, p.Disk))
+		}
+	}
+	s.svc = k.RegisterEach("store", shards, s.shardHandler)
+	if recover {
+		for i := 0; i < shards; i++ {
+			rt.InjectSend(s.svc.Shard(i), kernel.Request{Op: "recover", Key: i}, 0)
+		}
+	}
+	return s
+}
+
+// Shards returns the number of store shards.
+func (s *Store) Shards() int { return s.svc.Shards() }
+
+// Disks exposes the per-shard log devices (shard order) — for stats and
+// for snapshotting in crash/recovery experiments.
+func (s *Store) Disks() []*blockdev.Disk { return s.disks }
+
+// --- client API (any thread) ---
+
+// Get returns the current value of key.
+func (s *Store) Get(t *core.Thread, key string) GetResult {
+	return s.k.Call(t, "store", keyHash(key), "get", getArg{Key: key}).(GetResult)
+}
+
+// Put stores val under key; the call returns only once the write's log
+// record is durable.
+func (s *Store) Put(t *core.Thread, key string, val []byte) WriteResult {
+	return s.k.Call(t, "store", keyHash(key), "put", putArg{Key: key, Val: val}).(WriteResult)
+}
+
+// PutAsync issues a PUT and returns its reply channel immediately, so a
+// writer can keep a pipeline of writes riding the same group commit.
+func (s *Store) PutAsync(t *core.Thread, key string, val []byte) *core.Chan {
+	return s.k.CallAsync(t, "store", keyHash(key), "put", putArg{Key: key, Val: val})
+}
+
+// Delete removes key (durably: the tombstone is flushed before the call
+// returns).
+func (s *Store) Delete(t *core.Thread, key string) WriteResult {
+	return s.k.Call(t, "store", keyHash(key), "delete", delArg{Key: key}).(WriteResult)
+}
+
+// Scan returns up to limit keys with the given prefix, sorted, merged
+// across every shard (each shard scans its private index; the caller's
+// thread merges).
+func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
+	n := s.svc.Shards()
+	replies := make([]*core.Chan, n)
+	for i := 0; i < n; i++ {
+		replies[i] = t.NewChan("scan.reply", 1)
+		s.svc.Shard(i).Send(t, kernel.Request{
+			Op: "scan", Key: i, Arg: scanArg{Prefix: prefix, Limit: limit}, Reply: replies[i],
+		})
+	}
+	type kv struct {
+		key string
+		ver uint64
+	}
+	var all []kv
+	for i := 0; i < n; i++ {
+		v, _ := replies[i].Recv(t)
+		r := v.(ScanResult)
+		for j := range r.Keys {
+			all = append(all, kv{r.Keys[j], r.Vers[j]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	out := ScanResult{}
+	for _, e := range all {
+		out.Keys = append(out.Keys, e.key)
+		out.Vers = append(out.Vers, e.ver)
+	}
+	return out
+}
+
+// --- shard handler ---
+
+func (s *Store) shardHandler(id int) kernel.Handler {
+	sh := &shard{
+		id:    id,
+		s:     s,
+		disk:  s.disks[id],
+		idx:   make(map[string]loc),
+		cache: newLRUCache(s.P.CacheBlocks),
+		reads: make(map[int][]pendingRead),
+	}
+	return func(t *core.Thread, req kernel.Request) core.Msg {
+		switch req.Op {
+		case "get":
+			return sh.get(t, req.Arg.(getArg).Key, req.Reply)
+		case "put":
+			a := req.Arg.(putArg)
+			return sh.write(t, a.Key, a.Val, req.Reply)
+		case "delete":
+			return sh.del(t, req.Arg.(delArg).Key, req.Reply)
+		case "scan":
+			return sh.scan(req.Arg.(scanArg))
+		case "flush":
+			sh.flushArmed = false
+			if sh.dirty > 0 {
+				sh.flush(t)
+			}
+		case "flushed":
+			sh.flushed(t, req.Arg.(flushDone))
+		case "readdone":
+			sh.readDone(t, req.Arg.(readDone))
+		case "recover":
+			sh.recover(t)
+		}
+		return nil
+	}
+}
+
+// get serves a GET: index hit resolves to the open block, the cache, or
+// a disk read. Only the last defers the reply — and never blocks the
+// shard; other keys keep being served while the read is in flight.
+func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
+	sh.s.Gets++
+	l, ok := sh.idx[key]
+	if !ok || l.dead {
+		return GetResult{Found: false}
+	}
+	if l.block == sh.openBlock {
+		// The tail block lives in memory until sealed.
+		sh.s.CacheHits++
+		return GetResult{Found: true, Ver: l.ver, Val: copyBytes(sh.open[l.off : l.off+l.vlen])}
+	}
+	if data, hit := sh.cache.get(l.block); hit {
+		sh.s.CacheHits++
+		return GetResult{Found: true, Ver: l.ver, Val: copyBytes(data[l.off : l.off+l.vlen])}
+	}
+	sh.s.CacheMisses++
+	waiting := sh.reads[l.block]
+	sh.reads[l.block] = append(waiting, pendingRead{reply: reply, l: l})
+	if len(waiting) == 0 {
+		// First miss on this block: program the read. The completion
+		// interrupt re-enters the shard as a "readdone" message.
+		sh.programRead(t, l.block)
+	}
+	return kernel.Deferred
+}
+
+func (sh *shard) programRead(t *core.Thread, block int) {
+	svc, id, from := sh.s.svc, sh.id, t.Core()
+	rt := sh.s.rt
+	sh.disk.Program(t, blockdev.Request{Op: blockdev.Read, Block: block}, func(res blockdev.Result) {
+		rt.InjectSend(svc.Shard(id), kernel.Request{
+			Op: "readdone", Key: id,
+			Arg: readDone{block: block, data: res.Data, ok: res.OK, err: res.Err},
+		}, from)
+	})
+}
+
+// readDone lands a cache-miss block and answers every GET parked on it.
+func (sh *shard) readDone(t *core.Thread, d readDone) {
+	waiting := sh.reads[d.block]
+	delete(sh.reads, d.block)
+	if d.ok {
+		sh.cache.put(d.block, d.data)
+	}
+	for _, pr := range waiting {
+		var res core.Msg
+		if !d.ok {
+			res = GetResult{Err: d.err}
+		} else {
+			res = GetResult{Found: true, Ver: pr.l.ver, Val: copyBytes(d.data[pr.l.off : pr.l.off+pr.l.vlen])}
+		}
+		if pr.reply != nil {
+			pr.reply.Send(t, res)
+		}
+	}
+}
+
+// write appends a PUT record to the open block and defers the ack until
+// the record is durable (group commit). Found in the ack reports
+// whether the key held a live value before this write.
+func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan) core.Msg {
+	sh.s.Puts++
+	rec := recHeader + len(key) + len(val)
+	if rec+1 > sh.s.P.Disk.BlockSize {
+		return WriteResult{Err: fmt.Sprintf("store: record for %q is %d bytes; max %d", key, rec, sh.s.P.Disk.BlockSize-1-recHeader)}
+	}
+	old, existed := sh.idx[key]
+	ver := old.ver + 1 // tombstones keep their version, so re-creation continues the sequence
+	if !sh.append(t, recPut, key, val, ver) {
+		sh.s.LogFull++
+		return WriteResult{Err: "store: log region full"}
+	}
+	sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - len(val), vlen: len(val), ver: ver}
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
+	sh.armFlush(t)
+	return kernel.Deferred
+}
+
+// del appends a tombstone; a miss answers immediately (nothing to make
+// durable). The index keeps the tombstone (dead loc) so the key's
+// version sequence survives deletion.
+func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
+	sh.s.Deletes++
+	old, ok := sh.idx[key]
+	if !ok || old.dead {
+		return WriteResult{OK: true, Found: false}
+	}
+	ver := old.ver + 1
+	if !sh.append(t, recDel, key, nil, ver) {
+		sh.s.LogFull++
+		return WriteResult{Err: "store: log region full"}
+	}
+	sh.idx[key] = loc{ver: ver, dead: true}
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: true, Ver: ver}})
+	sh.armFlush(t)
+	return kernel.Deferred
+}
+
+func (sh *shard) scan(a scanArg) ScanResult {
+	sh.s.Scans++
+	var keys []string
+	for k, l := range sh.idx {
+		if !l.dead && strings.HasPrefix(k, a.Prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if a.Limit > 0 && len(keys) > a.Limit {
+		keys = keys[:a.Limit]
+	}
+	out := ScanResult{Keys: keys}
+	for _, k := range keys {
+		out.Vers = append(out.Vers, sh.idx[k].ver)
+	}
+	return out
+}
+
+// append adds one record to the open block, sealing (flushing and
+// advancing past) the block first if the record does not fit. Reports
+// false when the log region is exhausted.
+func (sh *shard) append(t *core.Thread, op byte, key string, val []byte, ver uint64) bool {
+	rec := recHeader + len(key) + len(val)
+	if len(sh.open)+rec+1 > sh.s.P.Disk.BlockSize {
+		// Seal: write out the full block and open the next one. The
+		// sealed contents stay hot in the cache (this is the write-back
+		// path — the block was served from memory its whole open life).
+		if sh.openBlock+1 >= sh.s.P.LogBlocks {
+			return false
+		}
+		if sh.dirty > 0 {
+			sh.flush(t) // records not yet covered by an issued write
+		}
+		sh.cache.put(sh.openBlock, copyBytes(sh.open))
+		sh.openBlock++
+		sh.open = nil
+	}
+	sh.open = encRecord(sh.open, op, key, val, ver)
+	sh.dirty++
+	return true
+}
+
+// armFlush schedules the group-commit timer (once) — it re-enters the
+// shard as a "flush" message.
+func (sh *shard) armFlush(t *core.Thread) {
+	if sh.flushArmed {
+		return
+	}
+	sh.flushArmed = true
+	svc, id, from := sh.s.svc, sh.id, t.Core()
+	rt := sh.s.rt
+	rt.Eng.After(sh.s.P.FlushCycles, func() {
+		rt.InjectSend(svc.Shard(id), kernel.Request{Op: "flush", Key: id}, from)
+	})
+}
+
+// flush writes the open block's current contents back to the log device
+// and hands the waiting acks to the completion interrupt. The disk
+// queues internally, so the shard never blocks — it goes straight back
+// to serving requests.
+func (sh *shard) flush(t *core.Thread) {
+	batch := sh.waiters
+	sh.waiters = nil
+	sh.dirty = 0
+	sh.s.FlushesStarted++
+	svc, id, from := sh.s.svc, sh.id, t.Core()
+	rt := sh.s.rt
+	sh.disk.Program(t, blockdev.Request{
+		Op: blockdev.Write, Block: sh.openBlock, Data: copyBytes(sh.open),
+	}, func(res blockdev.Result) {
+		rt.InjectSend(svc.Shard(id), kernel.Request{
+			Op: "flushed", Key: id,
+			Arg: flushDone{batch: batch, ok: res.OK, err: res.Err},
+		}, from)
+	})
+}
+
+// flushed is the disk completion interrupt: the records carried by the
+// write are durable, so their acknowledgements go out now.
+func (sh *shard) flushed(t *core.Thread, d flushDone) {
+	sh.s.FlushesDone++
+	sh.s.FlushedRecords += uint64(len(d.batch))
+	for _, pw := range d.batch {
+		res := pw.res
+		if !d.ok {
+			res = WriteResult{Err: d.err}
+		}
+		if pw.reply != nil {
+			if d.ok {
+				sh.s.AckedWrites++
+			}
+			pw.reply.Send(t, res)
+		}
+	}
+}
+
+// recover rebuilds the shard from its log device: read blocks front to
+// back, apply records in order (last write wins), stop at the first
+// empty block. The tail block's surviving bytes become the open block
+// again, so appending resumes where the crash cut it off. Recovery runs
+// as the shard's first message — it may block on the disk; requests
+// queue up behind it in FIFO order and are served against the recovered
+// state.
+func (sh *shard) recover(t *core.Thread) {
+	rt := sh.s.rt
+	irq := t.NewChan(fmt.Sprintf("store.%d.recover", sh.id), 1)
+	from := t.Core()
+	for b := 0; b < sh.s.P.LogBlocks; b++ {
+		sh.disk.Program(t, blockdev.Request{Op: blockdev.Read, Block: b}, func(res blockdev.Result) {
+			rt.InjectSend(irq, res, from)
+		})
+		v, _ := irq.Recv(t)
+		res := v.(blockdev.Result)
+		if !res.OK {
+			break
+		}
+		parsed := 0
+		for {
+			op, key, valOff, vlen, ver, n := decRecord(res.Data, parsed)
+			if n == 0 {
+				break
+			}
+			switch op {
+			case recPut:
+				sh.idx[key] = loc{block: b, off: valOff, vlen: vlen, ver: ver}
+			case recDel:
+				sh.idx[key] = loc{ver: ver, dead: true}
+			}
+			parsed += n
+			sh.s.Replayed++
+		}
+		if parsed == 0 {
+			break // first never-written block: end of log
+		}
+		sh.openBlock = b
+		sh.open = copyBytes(res.Data[:parsed])
+	}
+}
+
+func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"chanos/internal/core"
+	"chanos/internal/net"
+)
+
+// The store's wire protocol: a compact request/response pair carried as
+// netstack payloads, so remote clients reach the service through the
+// full path — wire → NIC RSS → net shard → store shard → log device —
+// with every hop a message. Replies are versioned: clients can detect
+// stale reads and lost updates without a second round trip.
+
+// WireOp selects the operation in a KVRequest.
+type WireOp uint8
+
+// Wire operations.
+const (
+	WGet WireOp = iota + 1
+	WPut
+	WDelete
+	WScan
+)
+
+func (op WireOp) String() string {
+	switch op {
+	case WGet:
+		return "GET"
+	case WPut:
+		return "PUT"
+	case WDelete:
+		return "DELETE"
+	case WScan:
+		return "SCAN"
+	}
+	return "?"
+}
+
+// KVRequest is one client request. For WScan, Key is the prefix and
+// Limit bounds the result.
+type KVRequest struct {
+	Op    WireOp
+	Seq   uint32 // client-chosen tag, echoed in the response
+	Key   string
+	Val   []byte
+	Limit int
+}
+
+// MsgBytes implements core.Sized: op + seq + limit + lengths, then key
+// and value bytes.
+func (r KVRequest) MsgBytes() int { return 16 + len(r.Key) + len(r.Val) }
+
+// WireBytes is the request's simulated size on the wire (for Conn.Send
+// / Endpoint.Send).
+func (r KVRequest) WireBytes() int { return r.MsgBytes() }
+
+// KVResponse answers one KVRequest.
+type KVResponse struct {
+	Seq   uint32
+	OK    bool
+	Found bool
+	Ver   uint64
+	Val   []byte
+	Keys  []string // scan results
+	Vers  []uint64 // scan results: Keys[i] is at version Vers[i]
+	Err   string
+}
+
+// MsgBytes implements core.Sized.
+func (r KVResponse) MsgBytes() int {
+	n := 24 + len(r.Val) + len(r.Err) + 8*len(r.Vers)
+	for _, k := range r.Keys {
+		n += 2 + len(k)
+	}
+	return n
+}
+
+// WireBytes is the response's simulated wire size.
+func (r KVResponse) WireBytes() int { return r.MsgBytes() }
+
+// Apply executes one wire request against the store on the calling
+// thread (blocking until the store's reply — for writes, until the log
+// record is durable).
+func (s *Store) Apply(t *core.Thread, req KVRequest) KVResponse {
+	switch req.Op {
+	case WGet:
+		r := s.Get(t, req.Key)
+		return KVResponse{Seq: req.Seq, OK: r.Err == "", Found: r.Found, Ver: r.Ver, Val: r.Val, Err: r.Err}
+	case WPut:
+		r := s.Put(t, req.Key, req.Val)
+		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
+	case WDelete:
+		r := s.Delete(t, req.Key)
+		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
+	case WScan:
+		r := s.Scan(t, req.Key, req.Limit)
+		return KVResponse{Seq: req.Seq, OK: true, Found: len(r.Keys) > 0, Keys: r.Keys, Vers: r.Vers}
+	}
+	return KVResponse{Seq: req.Seq, Err: "store: unknown wire op"}
+}
+
+// ServeConn pumps one connection: decode requests in arrival order,
+// execute each against the store, send the response. It returns when
+// the peer closes. One lightweight thread per connection is the
+// intended serving shape ("starting one is easy").
+func ServeConn(t *core.Thread, c *net.Conn, s *Store) {
+	for {
+		v, ok := c.Recv(t)
+		if !ok {
+			break
+		}
+		req, ok := v.(KVRequest)
+		if !ok {
+			continue
+		}
+		resp := s.Apply(t, req)
+		c.Send(t, resp, resp.WireBytes())
+	}
+	c.Close(t)
+}

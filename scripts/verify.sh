@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# verify.sh — the repo's tier-1 gate plus a quick experiment smoke.
+# verify.sh — the repo's tier-1 gate plus quick experiment smokes.
 #
 # Usage: scripts/verify.sh [-short]
-#   -short   skip the E14 smoke (build/vet/test only)
+#   -short   skip the E14/E15 smokes (build/vet/test only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +40,31 @@ if [ "$short" = "0" ]; then
         echo "verify: netstack served zero connections in every configuration" >&2
         exit 1
     fi
+
+    echo "== E15 store smoke (quick, -json)"
+    out=$(go run ./cmd/chanos-bench -run E15 -quick -json)
+    echo "$out"
+    echo "$out" | grep -q "E15 / store scaling" || {
+        echo "verify: E15 table missing" >&2
+        exit 1
+    }
+    # The cores-sweep rows must show a live store: some ops/sec cell != 0.
+    # Slice out the cores-sweep table first — E15b/E15c rows also start
+    # with a small integer, but their $3 is a different column.
+    if ! echo "$out" | sed -n '/E15 \/ store scaling/,/^$/p' \
+        | awk '/^(4|16|64|128) /{ if ($3 != "0.00") ok=1 } END { exit !ok }'; then
+        echo "verify: store served zero operations in every configuration" >&2
+        exit 1
+    fi
+    # -json must have produced a parseable artifact with rows in it.
+    test -s BENCH_E15.json || {
+        echo "verify: BENCH_E15.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"rows"' BENCH_E15.json || {
+        echo "verify: BENCH_E15.json has no rows" >&2
+        exit 1
+    }
 fi
 
 echo "verify: OK"
