@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		cores    = flag.Int("cores", 64, "simulated cores")
-		clients  = flag.Int("clients", 128, "closed-loop clients on the wire")
-		requests = flag.Int("requests", 20_000, "client requests to serve")
-		readPct  = flag.Int("readpct", 70, "share of requests that are GETs (0-100)")
-		keys     = flag.Int("keys", 4096, "keyspace size")
-		seed     = flag.Uint64("seed", 7, "simulation seed")
-		loss     = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
+		cores     = flag.Int("cores", 64, "simulated cores")
+		clients   = flag.Int("clients", 128, "closed-loop clients on the wire")
+		requests  = flag.Int("requests", 20_000, "client requests to serve")
+		readPct   = flag.Int("readpct", 70, "share of requests that are GETs (0-100)")
+		keys      = flag.Int("keys", 4096, "keyspace size")
+		seed      = flag.Uint64("seed", 7, "simulation seed")
+		loss      = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
+		logBlocks = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	wp.LossProb = *loss
 	nw := sys.NewNetwork(nic, wp)
 	st := sys.NewNetStack(k, nic, net.StackParams{})
-	kv := sys.NewStore(k, store.Params{})
+	kv := sys.NewStore(k, store.Params{LogBlocks: *logBlocks})
 	l := st.Listen(6379)
 
 	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d\n",
@@ -135,6 +136,8 @@ func main() {
 		kv.Gets, hr*100, kv.AckedWrites, kv.Deletes)
 	fmt.Printf("  log          %8d flushes, %d disk writes, %d MB moved\n",
 		kv.FlushesDone, diskWrites, diskBytes>>20)
+	fmt.Printf("  compaction   %8d runs, %d records copied, %d writes refused (log full), live ratio %.2f\n",
+		kv.CompactionsDone, kv.CompactedRecords, kv.LogFull, kv.LiveRatio())
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
 		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.RxDrops)
 }

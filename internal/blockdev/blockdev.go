@@ -53,6 +53,21 @@ type DiskParams struct {
 	IRQCycles    uint64 // interrupt dispatch cost charged to the driver
 }
 
+// Region names a contiguous run of blocks [Start, Start+Blocks) — the
+// unit a log-structured client (the store) allocates, compacts into and
+// retires. The device itself is flat; a Region is bookkeeping the owner
+// carries, but it lives here so every region user agrees on the math.
+type Region struct {
+	Start  int
+	Blocks int
+}
+
+// End returns the first block past the region.
+func (r Region) End() int { return r.Start + r.Blocks }
+
+// Contains reports whether block b falls inside the region.
+func (r Region) Contains(b int) bool { return b >= r.Start && b < r.End() }
+
 // DefaultDiskParams models an SSD-class device on the 2 GHz machine:
 // ~50 µs access, ~500 MB/s transfer, 1 µs interrupt dispatch.
 func DefaultDiskParams(blocks int) DiskParams {
@@ -79,10 +94,16 @@ type Disk struct {
 	progWindowEnd sim.Time
 	progOwner     int // thread id, -1 when idle
 
+	// failWrites makes the next N write completions fail without
+	// committing data (deterministic fault injection).
+	failWrites int
+
 	// Stats.
 	Reads, Writes uint64
 	BytesMoved    uint64
 	Hazards       uint64
+	WriteFailures uint64
+	Trims         uint64
 }
 
 // NewDisk creates an empty disk.
@@ -113,6 +134,23 @@ func (d *Disk) SnapshotData() map[int][]byte {
 		out[blk] = append([]byte(nil), buf...)
 	}
 	return out
+}
+
+// InjectWriteFailures makes the next n write completions report failure
+// with nothing committed to the media — the deterministic stand-in for a
+// bad sector or a controller fault, used by crash-consistency tests.
+// Completions are strictly serial, so "next n" is unambiguous.
+func (d *Disk) InjectWriteFailures(n int) { d.failWrites += n }
+
+// Trim discards the committed contents of blocks [start, start+count):
+// a metadata-only operation (instant, like an SSD TRIM/DISCARD), after
+// which reads of those blocks return zeroes. The store uses it to retire
+// a compacted log region.
+func (d *Disk) Trim(start, count int) {
+	for b := start; b < start+count; b++ {
+		delete(d.data, b)
+	}
+	d.Trims++
 }
 
 // progWindow is how long programming a request takes: reading the free
@@ -171,6 +209,12 @@ func (d *Disk) Program(t *core.Thread, req Request, done func(Result)) {
 			res = Result{OK: true, Data: append([]byte(nil), buf...)}
 			d.Reads++
 		case Write:
+			if d.failWrites > 0 {
+				d.failWrites--
+				d.WriteFailures++
+				done(Result{OK: false, Err: "injected write failure"})
+				return
+			}
 			if len(wdata) > d.P.BlockSize {
 				wdata = wdata[:d.P.BlockSize]
 			}

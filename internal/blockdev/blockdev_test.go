@@ -63,6 +63,68 @@ func TestUnwrittenBlockReadsZero(t *testing.T) {
 	}
 }
 
+// TestInjectWriteFailures: an injected failure must report an error,
+// commit nothing to the media, and clear itself for the next write —
+// and only committed writes count in the Writes stat (crash tests rely
+// on that equality).
+func TestInjectWriteFailures(t *testing.T) {
+	rt := newRT(t, 4)
+	disk := NewDisk(rt, DefaultDiskParams(32))
+	drv := NewDriver(rt, disk, 8, 1)
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	var failed, readBack, retried Result
+	rt.Boot("app", func(th *core.Thread) {
+		disk.InjectWriteFailures(1)
+		failed = drv.SubmitSync(th, Write, 3, payload)
+		readBack = drv.SubmitSync(th, Read, 3, nil)
+		retried = drv.SubmitSync(th, Write, 3, payload)
+		drv.Stop(th)
+	})
+	rt.Run()
+	if failed.OK || failed.Err == "" {
+		t.Fatalf("injected failure not reported: %+v", failed)
+	}
+	if !readBack.OK || readBack.Data[0] != 0 {
+		t.Fatal("failed write committed data")
+	}
+	if !retried.OK {
+		t.Fatalf("write after injection window failed: %+v", retried)
+	}
+	if disk.Writes != 1 || disk.WriteFailures != 1 {
+		t.Fatalf("stats: %d writes, %d failures", disk.Writes, disk.WriteFailures)
+	}
+}
+
+// TestTrimDiscards: trimmed blocks read back as zeroes, like a fresh
+// device — retiring a compacted log region must leave no stale bytes.
+func TestTrimDiscards(t *testing.T) {
+	rt := newRT(t, 2)
+	disk := NewDisk(rt, DefaultDiskParams(16))
+	drv := NewDriver(rt, disk, 4, 0)
+	var before, after Result
+	rt.Boot("app", func(th *core.Thread) {
+		drv.SubmitSync(th, Write, 5, bytes.Repeat([]byte{0xEE}, 4096))
+		before = drv.SubmitSync(th, Read, 5, nil)
+		disk.Trim(4, 4)
+		after = drv.SubmitSync(th, Read, 5, nil)
+		drv.Stop(th)
+	})
+	rt.Run()
+	if before.Data[0] != 0xEE {
+		t.Fatal("write did not commit")
+	}
+	if after.Data[0] != 0 || disk.Trims != 1 {
+		t.Fatalf("trim left data behind (first byte %x, %d trims)", after.Data[0], disk.Trims)
+	}
+}
+
+func TestRegionMath(t *testing.T) {
+	r := Region{Start: 9, Blocks: 16}
+	if r.End() != 25 || !r.Contains(9) || !r.Contains(24) || r.Contains(8) || r.Contains(25) {
+		t.Fatalf("region math wrong: %+v", r)
+	}
+}
+
 func TestOutOfRangeBlockFails(t *testing.T) {
 	rt := newRT(t, 2)
 	disk := NewDisk(rt, DefaultDiskParams(16))

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/sim"
+)
+
+// tinyRegionParams makes compaction cheap to provoke: a 16-block
+// (64 KB) region per shard with small increments, so a churning test
+// crosses the high-water mark many times in a few simulated ms.
+func tinyRegionParams(shards int) Params {
+	return Params{
+		Shards: shards, CacheBlocks: 4, FlushCycles: 20_000,
+		LogBlocks: 16, CompactBatch: 8, CompactStepCycles: 2_000,
+	}
+}
+
+// TestChurnCompactsAndNeverRefusesWrites is the tentpole acceptance
+// test: a seeded churn workload writes 8× one shard's log-region
+// capacity into a small keyspace. Before compaction existed this died
+// at ~1× with "log region full" forever; now every write must succeed
+// (LogFull stays zero), reads must stay correct while compactions run
+// underneath, deletes must stay deleted, and version sequences must
+// survive the log being rewritten multiple times.
+func TestChurnCompactsAndNeverRefusesWrites(t *testing.T) {
+	p := tinyRegionParams(1)
+	w := newSW(8, p, 23, nil)
+	defer w.rt.Shutdown()
+	target := 8 * uint64(p.LogBlocks) * 4096
+	want := map[string]ackRec{}    // acked live state
+	deleted := map[string]uint64{} // key -> tombstone version
+	var appended uint64
+	done := false
+	w.rt.Boot("churn", func(th *core.Thread) {
+		rng := sim.NewRNG(23)
+		for i := 0; appended < target; i++ {
+			key := fmt.Sprintf("k%02d", rng.Uint64n(32))
+			if i%16 == 15 {
+				r := w.kv.Delete(th, key)
+				if r.Err != "" {
+					t.Errorf("delete %d (%s) refused: %+v", i, key, r)
+					return
+				}
+				if r.Found {
+					appended += uint64(RecordBytes(key, nil))
+					deleted[key] = r.Ver
+					delete(want, key)
+				}
+				continue
+			}
+			v := []byte(fmt.Sprintf("%s@%06d.%s", key, i, string(make([]byte, 200))))
+			r := w.kv.Put(th, key, v)
+			if !r.OK {
+				t.Errorf("put %d (%s) refused: %+v", i, key, r)
+				return
+			}
+			if prev, ok := want[key]; ok && r.Ver <= prev.ver {
+				t.Errorf("version rewound across compaction: %s v%d after v%d", key, r.Ver, prev.ver)
+			}
+			if tv, ok := deleted[key]; ok && r.Ver <= tv {
+				t.Errorf("re-created %s at v%d, tombstone was v%d", key, r.Ver, tv)
+			}
+			want[key] = ackRec{ver: r.Ver, val: string(v)}
+			delete(deleted, key)
+			appended += uint64(RecordBytes(key, v))
+			if i%7 == 0 { // reads interleave with compaction increments
+				g := w.kv.Get(th, key)
+				if !g.Found || string(g.Val) != string(v) || g.Ver != r.Ver {
+					t.Errorf("read-back %s during churn: %+v", key, g)
+				}
+			}
+		}
+		for key, a := range want {
+			g := w.kv.Get(th, key)
+			if !g.Found || string(g.Val) != a.val || g.Ver != a.ver {
+				t.Errorf("final audit %s: got %+v, want %q v%d", key, g, a.val, a.ver)
+			}
+		}
+		for key := range deleted {
+			if g := w.kv.Get(th, key); g.Found {
+				t.Errorf("deleted key resurrected by compaction: %s = %q", key, g.Val)
+			}
+		}
+		done = true
+	})
+	w.rt.Run()
+	if !done {
+		t.Fatal("churn thread never finished")
+	}
+	if w.kv.LogFull != 0 {
+		t.Fatalf("writes were refused: LogFull = %d", w.kv.LogFull)
+	}
+	if w.kv.CompactionsDone < 2 {
+		t.Fatalf("churn of 8x region capacity ran only %d compactions", w.kv.CompactionsDone)
+	}
+	if w.kv.CompactedRecords == 0 || w.kv.EpochWritesDurable != w.kv.CompactionsDone {
+		t.Fatalf("compaction accounting: %d records, %d epoch writes, %d done",
+			w.kv.CompactedRecords, w.kv.EpochWritesDurable, w.kv.CompactionsDone)
+	}
+	if lr := w.kv.LiveRatio(); lr <= 0 || lr > 1 {
+		t.Fatalf("live ratio out of range: %f", lr)
+	}
+}
+
+// TestLargeLiveSetStillCompacts: a live set near half the region is
+// mostly data, but the other half is reclaimable garbage under churn —
+// compaction must run (a fit-the-target guard that skipped anything
+// over a small fraction of the region would let this workload die of
+// "log region full" with half the log reclaimable).
+func TestLargeLiveSetStillCompacts(t *testing.T) {
+	p := tinyRegionParams(1)
+	w := newSW(8, p, 27, nil)
+	defer w.rt.Shutdown()
+	const keys = 110 // ~30 KB live in a 64 KB region
+	target := 4 * uint64(p.LogBlocks) * 4096
+	done := false
+	w.rt.Boot("churn", func(th *core.Thread) {
+		rng := sim.NewRNG(27)
+		val := make([]byte, 256)
+		for appended := uint64(0); appended < target; {
+			key := fmt.Sprintf("big/%03d", rng.Uint64n(keys))
+			r := w.kv.Put(th, key, val)
+			if !r.OK {
+				t.Errorf("put %s refused: %+v", key, r)
+				return
+			}
+			appended += uint64(RecordBytes(key, val))
+		}
+		done = true
+	})
+	w.rt.Run()
+	if !done {
+		t.Fatal("churn thread never finished")
+	}
+	if w.kv.LogFull != 0 {
+		t.Fatalf("writes were refused: LogFull = %d", w.kv.LogFull)
+	}
+	if w.kv.CompactionsDone < 2 {
+		t.Fatalf("half-live region compacted only %d times", w.kv.CompactionsDone)
+	}
+}
+
+// churnDigest runs a seeded multi-writer churn that forces several
+// compactions and returns everything countable.
+func churnDigest(seed uint64) [8]uint64 {
+	p := tinyRegionParams(2)
+	w := newSW(8, p, seed, nil)
+	defer w.rt.Shutdown()
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 3; i++ {
+		w.rt.Boot(fmt.Sprintf("app.%d", i), func(th *core.Thread) {
+			for j := 0; j < 400; j++ {
+				k := fmt.Sprintf("k%d", rng.Uint64n(24))
+				switch {
+				case rng.Bool(0.2):
+					w.kv.Get(th, k)
+				case rng.Bool(0.1):
+					w.kv.Delete(th, k)
+				default:
+					w.kv.Put(th, k, make([]byte, 200))
+				}
+			}
+		})
+	}
+	w.rt.Run()
+	return [8]uint64{
+		w.kv.Puts, w.kv.AckedWrites, w.kv.CacheHits, w.kv.FlushesDone,
+		w.kv.CompactionsDone, w.kv.CompactedRecords, w.kv.LogFull, w.eng.Fired(),
+	}
+}
+
+// TestCompactionDeterministicReplay: compaction — key-snapshot order,
+// increment scheduling, epoch commits, cache retirement — replays
+// exactly from a seed, like everything else in the simulation.
+func TestCompactionDeterministicReplay(t *testing.T) {
+	a := churnDigest(9)
+	b := churnDigest(9)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[4] == 0 {
+		t.Fatal("digest workload never compacted")
+	}
+	if a[6] != 0 {
+		t.Fatalf("digest workload was refused writes: LogFull = %d", a[6])
+	}
+}

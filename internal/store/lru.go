@@ -1,5 +1,7 @@
 package store
 
+import "sort"
+
 // lruCache is the per-shard block cache: sealed log blocks keyed by
 // block number, least-recently-used eviction. It is owned by exactly
 // one shard thread, so — like everything else in a shard — it needs no
@@ -50,6 +52,26 @@ func (c *lruCache) put(block int, data []byte) {
 		ev := c.tail
 		c.unlink(ev)
 		delete(c.m, ev.block)
+	}
+}
+
+// dropRange evicts every cached block in [start, end) — used when a
+// compacted region is retired: its block numbers will be rewritten with
+// different contents under a later epoch, and a stale hit must be
+// impossible by construction, not by luck. Candidates are sorted so the
+// eviction order (and thus the recency list) replays deterministically.
+func (c *lruCache) dropRange(start, end int) {
+	var drop []int
+	for b := range c.m {
+		if b >= start && b < end {
+			drop = append(drop, b)
+		}
+	}
+	sort.Ints(drop)
+	for _, b := range drop {
+		n := c.m[b]
+		c.unlink(n)
+		delete(c.m, b)
 	}
 }
 

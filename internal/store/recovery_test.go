@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"chanos/internal/blockdev"
@@ -72,7 +73,9 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 		})
 	}
 
-	// Hunt the crash instant.
+	// Hunt the crash instant. (Superblock writes — epoch commits — are
+	// disk writes that are not flushes; none happen at this scale, but
+	// the accounting stays honest either way.)
 	committed := func() uint64 {
 		var n uint64
 		for _, d := range kv.Disks() {
@@ -85,7 +88,7 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 		rt.RunFor(500)
 		if ackedCount >= 20 &&
 			kv.FlushesStarted > kv.FlushesDone &&
-			committed() == kv.FlushesDone &&
+			committed() == kv.FlushesDone+kv.EpochWritesDurable &&
 			ackedCount == kv.AckedWrites &&
 			issuedCount > ackedCount {
 			found = true
@@ -163,4 +166,160 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 	}
 	t.Logf("crash at %d acked / %d issued, %d in flight; recovery replayed %d records, %d unacked writes lost",
 		ackedCount, issuedCount, unackedAtCrash, kv2.Replayed, lostUnacked)
+}
+
+// TestCrashMidCompactionRecovery is the same durability contract, cut
+// at the protocol's most delicate instant: a compaction is mid-flight —
+// the fresh region holds durable copies (and possibly redirected fresh
+// writes), the old region is still the committed epoch, and the
+// superblock has not switched. The power goes out; the reboot must
+// (a) recover exactly the acknowledged state, picking records from
+// *both* regions version-aware, and (b) resume the compaction where the
+// fresh region's durable tail leaves off, commit it, and keep serving
+// writes with zero LogFull refusals.
+//
+// The crash instant extends TestCrashMidFlushRecovery's hunt: on top of
+// the drained-interrupt conditions that make durable == acked exact, it
+// requires the first compaction to be started-but-uncommitted with at
+// least one fresh-region block already on the platters (so the reboot
+// exercises the resume path, not a from-scratch restart).
+func TestCrashMidCompactionRecovery(t *testing.T) {
+	const seed = 31
+	p := Params{Shards: 2, CacheBlocks: 4, FlushCycles: 20_000, LogBlocks: 16,
+		CompactBatch: 8, CompactStepCycles: 4_000}
+
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(8))
+	rt := core.NewRuntime(m, core.Config{Seed: seed})
+	k := kernel.New(rt, kernel.Config{})
+	kv := New(rt, k, p, nil)
+
+	const writers = 6
+	pad := strings.Repeat("x", 160) // fat values cross the high-water mark fast
+	acked := map[string]ackRec{}
+	issued := map[string]string{}
+	inflight := map[int]string{}
+	var issuedCount, ackedCount uint64
+	rng := sim.NewRNG(seed)
+	for wtr := 0; wtr < writers; wtr++ {
+		wtr := wtr
+		rt.Boot(fmt.Sprintf("writer.%d", wtr), func(th *core.Thread) {
+			for round := 0; ; round++ {
+				key := fmt.Sprintf("c%02d", rng.Uint64n(24))
+				val := fmt.Sprintf("%s@w%d.%d.%s", key, wtr, round, pad)
+				issued[key] = val
+				inflight[wtr] = key
+				issuedCount++
+				r := kv.Put(th, key, []byte(val))
+				delete(inflight, wtr)
+				if !r.OK {
+					t.Errorf("writer %d: put %q failed: %+v", wtr, key, r)
+					return
+				}
+				acked[key] = ackRec{ver: r.Ver, val: val}
+				ackedCount++
+			}
+		})
+	}
+
+	committed := func() uint64 {
+		var n uint64
+		for _, d := range kv.Disks() {
+			n += d.Writes
+		}
+		return n
+	}
+	// The first compaction targets the second region (epoch 0 -> 1).
+	fresh := blockdev.Region{Start: 1 + p.LogBlocks, Blocks: p.LogBlocks}
+	var datas []map[int][]byte
+	found := false
+	for step := 0; step < 400_000 && !found; step++ {
+		rt.RunFor(500)
+		if !(kv.CompactionsStarted == 1 && kv.CompactionsDone == 0 &&
+			committed() == kv.FlushesDone+kv.EpochWritesDurable &&
+			ackedCount == kv.AckedWrites &&
+			issuedCount > ackedCount) {
+			continue
+		}
+		datas = nil
+		durableFresh := false
+		for _, d := range kv.Disks() {
+			snap := d.SnapshotData()
+			datas = append(datas, snap)
+			for b := range snap {
+				if fresh.Contains(b) {
+					durableFresh = true
+				}
+			}
+		}
+		found = durableFresh
+	}
+	if !found {
+		t.Fatal("never caught a shard mid-compaction with durable fresh-region blocks")
+	}
+	unackedAtCrash := len(inflight)
+	rt.Shutdown()
+
+	// Reboot on the surviving platters.
+	eng2 := sim.NewEngine()
+	m2 := machine.New(eng2, machine.DefaultParams(8))
+	rt2 := core.NewRuntime(m2, core.Config{Seed: seed + 1})
+	defer rt2.Shutdown()
+	k2 := kernel.New(rt2, kernel.Config{})
+	var disks []*blockdev.Disk
+	for _, data := range datas {
+		disks = append(disks, blockdev.NewDiskFrom(rt2, pFilled(p), data))
+	}
+	kv2 := New(rt2, k2, p, disks)
+
+	checked := false
+	rt2.Boot("auditor", func(th *core.Thread) {
+		for key, lastVal := range issued {
+			g := kv2.Get(th, key)
+			want, wasAcked := acked[key]
+			if wasAcked {
+				if !g.Found {
+					t.Errorf("acked PUT lost: %s=%q (ver %d)", key, want.val, want.ver)
+					continue
+				}
+				if string(g.Val) != want.val || g.Ver != want.ver {
+					t.Errorf("acked PUT corrupted: %s = %q v%d, want %q v%d",
+						key, g.Val, g.Ver, want.val, want.ver)
+				}
+			} else if g.Found {
+				t.Errorf("unacked-only key survived: %s = %q", key, g.Val)
+			}
+			if g.Found && string(g.Val) == lastVal && (!wasAcked || want.val != lastVal) {
+				t.Errorf("unacked PUT survived: %s = %q", key, lastVal)
+			}
+		}
+		// Post-recovery service: churn well past the region again — the
+		// resumed compaction (and its successors) must keep accepting.
+		for i := 0; i < 400; i++ {
+			key := fmt.Sprintf("c%02d", i%24)
+			if r := kv2.Put(th, key, []byte(fmt.Sprintf("%s#%d.%s", key, i, pad))); !r.OK {
+				t.Errorf("post-recovery put %d refused: %+v", i, r)
+				return
+			}
+		}
+		checked = true
+	})
+	rt2.Run()
+	if !checked {
+		t.Fatal("auditor never finished")
+	}
+	if kv2.Replayed == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	if kv2.CompactionsStarted == 0 {
+		t.Fatal("recovery did not resume the interrupted compaction")
+	}
+	if kv2.CompactionsDone == 0 {
+		t.Fatal("resumed compaction never committed its epoch")
+	}
+	if kv2.LogFull != 0 {
+		t.Fatalf("post-recovery writes refused: LogFull = %d", kv2.LogFull)
+	}
+	t.Logf("crash at %d acked / %d issued, %d in flight; replayed %d, resumed %d compactions (%d committed)",
+		ackedCount, issuedCount, unackedAtCrash, kv2.Replayed, kv2.CompactionsStarted, kv2.CompactionsDone)
 }

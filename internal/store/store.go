@@ -16,6 +16,15 @@
 // record completes, and recovery replays the log front to back — so an
 // acknowledged write provably survives a crash, and an unacknowledged
 // one provably does not outlive the flush it was waiting on.
+//
+// The log is bounded but the store is not: each shard's device carries
+// two log regions and a superblock. Appends fill the epoch-active
+// region; when it crosses the high-water mark the shard compacts —
+// copies its live records into the other region in bounded increments,
+// each increment a deferred self-message ("compact"), so the shard
+// keeps serving between increments and never blocks — then commits the
+// switch with a sealed region-epoch record (see compact.go and
+// DESIGN.md §store).
 package store
 
 import (
@@ -42,12 +51,26 @@ type Params struct {
 	// means lower write latency, more (smaller) disk writes. Default
 	// 50_000 (25 µs).
 	FlushCycles uint64
-	// LogBlocks is the per-shard log region size in blocks. A full
-	// region fails further writes (compaction is a ROADMAP item).
-	// Default 8192.
+	// LogBlocks is the per-shard log region size in blocks. The device
+	// carries two regions plus a superblock; when the active region
+	// crosses CompactAtBlocks the shard compacts live records into the
+	// other one, so a churning workload never exhausts the log — only a
+	// live set that genuinely exceeds the region does. Default 8192.
 	LogBlocks int
+	// CompactAtBlocks is the high-water mark: compaction starts once
+	// the active region has this many blocks in use. Default 3/4 of
+	// LogBlocks.
+	CompactAtBlocks int
+	// CompactBatch is how many index entries one compaction increment
+	// examines before yielding the shard back to request service.
+	// Default 64.
+	CompactBatch int
+	// CompactStepCycles is the pause between compaction increments
+	// (each increment re-enters the shard as a deferred self-message).
+	// Default 2000 (1 µs).
+	CompactStepCycles uint64
 	// Disk overrides the per-shard log device model; zero-valued fields
-	// take blockdev.DefaultDiskParams(LogBlocks).
+	// take blockdev.DefaultDiskParams(1 + 2*LogBlocks).
 	Disk blockdev.DiskParams
 }
 
@@ -61,9 +84,24 @@ func (p *Params) fill() {
 	if p.LogBlocks <= 0 {
 		p.LogBlocks = 8192
 	}
-	def := blockdev.DefaultDiskParams(p.LogBlocks)
+	if p.CompactAtBlocks <= 0 {
+		p.CompactAtBlocks = p.LogBlocks * 3 / 4
+	}
+	if p.CompactAtBlocks >= p.LogBlocks {
+		p.CompactAtBlocks = p.LogBlocks - 1
+	}
+	if p.CompactAtBlocks < 1 {
+		p.CompactAtBlocks = 1
+	}
+	if p.CompactBatch <= 0 {
+		p.CompactBatch = 64
+	}
+	if p.CompactStepCycles == 0 {
+		p.CompactStepCycles = 2_000
+	}
+	def := blockdev.DefaultDiskParams(superBlocks + 2*p.LogBlocks)
 	if p.Disk.NumBlocks <= 0 {
-		p.Disk.NumBlocks = p.LogBlocks
+		p.Disk.NumBlocks = superBlocks + 2*p.LogBlocks
 	}
 	if p.Disk.BlockSize <= 0 {
 		p.Disk.BlockSize = def.BlockSize
@@ -109,11 +147,12 @@ func (r WriteResult) MsgBytes() int { return 24 + len(r.Err) }
 type ScanResult struct {
 	Keys []string
 	Vers []uint64
+	Err  string
 }
 
 // MsgBytes implements core.Sized.
 func (r ScanResult) MsgBytes() int {
-	n := 16 + 8*len(r.Vers)
+	n := 16 + 8*len(r.Vers) + len(r.Err)
 	for _, k := range r.Keys {
 		n += 8 + len(k)
 	}
@@ -144,14 +183,21 @@ type scanArg struct {
 func (a scanArg) MsgBytes() int { return 24 + len(a.Prefix) }
 
 // flushDone is the disk interrupt for a completed log write: it carries
-// the acknowledgements the write made durable back into the shard.
+// the acknowledgements the write made durable back into the shard, and
+// — for a sealing write only — the block's final contents, which enter
+// the cache now that they are known to be on disk (data is nil for
+// ordinary group-commit rewrites, so the message is billed for the
+// payload exactly when it carries one, like readDone).
 type flushDone struct {
-	batch []pendingWrite
-	ok    bool
-	err   string
+	batch  []pendingWrite
+	block  int
+	data   []byte
+	sealed bool
+	ok     bool
+	err    string
 }
 
-func (flushDone) MsgBytes() int { return 32 }
+func (d flushDone) MsgBytes() int { return 32 + len(d.data) }
 
 // readDone is the disk interrupt for a completed cache-miss read.
 type readDone struct {
@@ -169,13 +215,43 @@ func (r readDone) MsgBytes() int { return 32 + len(r.data) }
 //
 // op 0 terminates a block (freshly-written disk blocks are zero-filled,
 // so the terminator comes free). Records never span blocks.
+//
+// Device layout: block 0 is the superblock (the sealed region-epoch
+// record, see compact.go); blocks [1, 1+LogBlocks) and
+// [1+LogBlocks, 1+2*LogBlocks) are the two log regions. Region parity
+// follows the epoch: even epochs append into the first region, odd into
+// the second. Every log block opens with an 8-byte epoch stamp, so
+// replay can tell a block written under the current epoch from a stale
+// leftover of an earlier occupancy of the same region.
 const (
 	recEnd = 0
 	recPut = 1
 	recDel = 2
 
 	recHeader = 1 + 2 + 4 + 8
+
+	superBlocks = 1 // device blocks reserved for the superblock
+	blockHeader = 8 // per-block epoch stamp
 )
+
+// stampEpoch starts a fresh open-block buffer with its epoch stamp.
+func stampEpoch(epoch uint64) []byte {
+	b := make([]byte, blockHeader)
+	binary.LittleEndian.PutUint64(b, epoch)
+	return b
+}
+
+// blockEpoch reads a block's epoch stamp.
+func blockEpoch(data []byte) uint64 {
+	if len(data) < blockHeader {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(data[:blockHeader])
+}
+
+// RecordBytes is the log footprint of one record — exported so
+// workloads and experiments can account appended bytes exactly.
+func RecordBytes(key string, val []byte) int { return recHeader + len(key) + len(val) }
 
 func encRecord(buf []byte, op byte, key string, val []byte, ver uint64) []byte {
 	var h [recHeader]byte
@@ -229,7 +305,9 @@ func keyHash(key string) int {
 // A dead loc is a tombstone: the key reads as absent, but its version
 // is retained so a re-created key continues the version sequence — a
 // client holding (key, version) must never see a different value under
-// the same version.
+// the same version. Tombstones keep their record's block too, so
+// compaction can tell whether the tombstone still lives in the region
+// being retired (it must be re-copied, or the version floor is lost).
 type loc struct {
 	block int
 	off   int // offset of the value bytes within the block
@@ -269,6 +347,24 @@ type shard struct {
 	flushArmed bool
 
 	reads map[int][]pendingRead // block -> GETs awaiting its disk read
+
+	// epoch is the shard's committed region epoch: appends land in
+	// region epoch&1 (epoch+1&1 while a compaction is in flight).
+	epoch uint64
+	// liveBytes is the log footprint of the current index contents
+	// (live records plus tombstones) — what a compaction would copy.
+	liveBytes int
+	// comp is the in-flight compaction, nil when idle (compact.go).
+	comp *compaction
+	// flushesIssued/flushesDone sequence this shard's log writes; the
+	// disk is serial FIFO, so "done == the count issued at time T" means
+	// everything issued up to T is on the platters.
+	flushesIssued, flushesDone uint64
+	// failed, once set, fail-stops the shard: a log write failed, so
+	// the in-memory state is no longer a prefix-consistent view of the
+	// disk. Every subsequent request is refused with this error; a
+	// restart recovers exactly the durable (acknowledged) writes.
+	failed string
 }
 
 // Store is the sharded key-value kernel service.
@@ -278,7 +374,8 @@ type Store struct {
 	svc *kernel.Service
 	P   Params
 
-	disks []*blockdev.Disk
+	disks  []*blockdev.Disk
+	shards []*shard // per-shard private state, in shard order (stats only)
 
 	// Stats (single simulation goroutine: plain counters, like the
 	// netstack's).
@@ -289,6 +386,14 @@ type Store struct {
 	AckedWrites                 uint64 // write acks sent (durability confirmed)
 	Replayed                    uint64 // records replayed during recovery
 	LogFull                     uint64 // writes refused: log region exhausted
+
+	CompactionsStarted uint64 // compaction passes begun (incl. crash resumes)
+	CompactionsDone    uint64 // epoch switches committed
+	CompactionsSkipped uint64 // past high water but live set too big to win space
+	CompactedRecords   uint64 // records rewritten into a fresh region
+	CompactedBytes     uint64 // log bytes those records occupy
+	EpochWritesDurable uint64 // superblock (epoch record) writes on the platters
+	FailedShards       uint64 // shards fail-stopped after a log write error
 }
 
 // New registers the "store" service on k's kernel cores. disks carries
@@ -304,6 +409,7 @@ func New(rt *core.Runtime, k *kernel.Kernel, p Params, disks []*blockdev.Disk) *
 		shards = len(k.KernelCores())
 	}
 	s := &Store{rt: rt, k: k, P: p}
+	s.shards = make([]*shard, shards)
 	recover := disks != nil
 	if recover {
 		if len(disks) != shards {
@@ -330,6 +436,58 @@ func (s *Store) Shards() int { return s.svc.Shards() }
 // Disks exposes the per-shard log devices (shard order) — for stats and
 // for snapshotting in crash/recovery experiments.
 func (s *Store) Disks() []*blockdev.Disk { return s.disks }
+
+// regionStart returns the first block of the region that epoch appends
+// into (regions alternate with epoch parity).
+func (s *Store) regionStart(epoch uint64) int {
+	return superBlocks + int(epoch&1)*s.P.LogBlocks
+}
+
+// region returns epoch's log region.
+func (s *Store) region(epoch uint64) blockdev.Region {
+	return blockdev.Region{Start: s.regionStart(epoch), Blocks: s.P.LogBlocks}
+}
+
+// LiveBytes sums the log footprint of every shard's current index
+// contents — the bytes a full compaction would retain.
+func (s *Store) LiveBytes() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		if sh != nil {
+			n += uint64(sh.liveBytes)
+		}
+	}
+	return n
+}
+
+// UsedLogBytes sums the bytes occupied in every shard's log: sealed
+// blocks plus the open tail of the write region, and — while a
+// compaction is in flight — the source region it has not yet retired.
+func (s *Store) UsedLogBytes() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		sealed := sh.openBlock - s.regionStart(sh.writeEpoch())
+		n += uint64(sealed)*uint64(s.P.Disk.BlockSize) + uint64(len(sh.open))
+		if sh.comp != nil {
+			n += uint64(sh.comp.srcUsedBytes)
+		}
+	}
+	return n
+}
+
+// LiveRatio is LiveBytes over UsedLogBytes: 1.0 means no garbage, and a
+// low ratio means churn has buried the live set — the condition
+// compaction exists to reverse.
+func (s *Store) LiveRatio() float64 {
+	used := s.UsedLogBytes()
+	if used == 0 {
+		return 1
+	}
+	return float64(s.LiveBytes()) / float64(used)
+}
 
 // --- client API (any thread) ---
 
@@ -373,9 +531,13 @@ func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
 		ver uint64
 	}
 	var all []kv
+	var firstErr string
 	for i := 0; i < n; i++ {
 		v, _ := replies[i].Recv(t)
 		r := v.(ScanResult)
+		if r.Err != "" && firstErr == "" {
+			firstErr = r.Err
+		}
 		for j := range r.Keys {
 			all = append(all, kv{r.Keys[j], r.Vers[j]})
 		}
@@ -384,7 +546,7 @@ func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
 	if limit > 0 && len(all) > limit {
 		all = all[:limit]
 	}
-	out := ScanResult{}
+	out := ScanResult{Err: firstErr}
 	for _, e := range all {
 		out.Keys = append(out.Keys, e.key)
 		out.Vers = append(out.Vers, e.ver)
@@ -396,13 +558,15 @@ func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
 
 func (s *Store) shardHandler(id int) kernel.Handler {
 	sh := &shard{
-		id:    id,
-		s:     s,
-		disk:  s.disks[id],
-		idx:   make(map[string]loc),
-		cache: newLRUCache(s.P.CacheBlocks),
-		reads: make(map[int][]pendingRead),
+		id:        id,
+		s:         s,
+		disk:      s.disks[id],
+		idx:       make(map[string]loc),
+		cache:     newLRUCache(s.P.CacheBlocks),
+		reads:     make(map[int][]pendingRead),
+		openBlock: s.regionStart(0),
 	}
+	s.shards[id] = sh
 	return func(t *core.Thread, req kernel.Request) core.Msg {
 		switch req.Op {
 		case "get":
@@ -416,13 +580,17 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 			return sh.scan(req.Arg.(scanArg))
 		case "flush":
 			sh.flushArmed = false
-			if sh.dirty > 0 {
-				sh.flush(t)
+			if sh.dirty > 0 && sh.failed == "" {
+				sh.flush(t, false)
 			}
 		case "flushed":
 			sh.flushed(t, req.Arg.(flushDone))
 		case "readdone":
 			sh.readDone(t, req.Arg.(readDone))
+		case "compact":
+			sh.compactStep(t)
+		case "epochdone":
+			sh.epochDone(t, req.Arg.(flushDone))
 		case "recover":
 			sh.recover(t)
 		}
@@ -435,6 +603,9 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 // shard; other keys keep being served while the read is in flight.
 func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
 	sh.s.Gets++
+	if sh.failed != "" {
+		return GetResult{Err: sh.failed}
+	}
 	l, ok := sh.idx[key]
 	if !ok || l.dead {
 		return GetResult{Found: false}
@@ -470,7 +641,8 @@ func (sh *shard) programRead(t *core.Thread, block int) {
 	})
 }
 
-// readDone lands a cache-miss block and answers every GET parked on it.
+// readDone lands a cache-miss block, answers every GET parked on it,
+// and resumes a compaction sweep waiting for the block's contents.
 func (sh *shard) readDone(t *core.Thread, d readDone) {
 	waiting := sh.reads[d.block]
 	delete(sh.reads, d.block)
@@ -488,6 +660,14 @@ func (sh *shard) readDone(t *core.Thread, d readDone) {
 			pr.reply.Send(t, res)
 		}
 	}
+	if c := sh.comp; c != nil && c.waitBlock == d.block {
+		c.waitBlock = -1
+		if !d.ok {
+			sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: compaction read: %s", sh.id, d.err))
+			return
+		}
+		sh.compactStep(t)
+	}
 }
 
 // write appends a PUT record to the open block and defers the ack until
@@ -495,9 +675,12 @@ func (sh *shard) readDone(t *core.Thread, d readDone) {
 // whether the key held a live value before this write.
 func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan) core.Msg {
 	sh.s.Puts++
+	if sh.failed != "" {
+		return WriteResult{Err: sh.failed}
+	}
 	rec := recHeader + len(key) + len(val)
-	if rec+1 > sh.s.P.Disk.BlockSize {
-		return WriteResult{Err: fmt.Sprintf("store: record for %q is %d bytes; max %d", key, rec, sh.s.P.Disk.BlockSize-1-recHeader)}
+	if rec+1+blockHeader > sh.s.P.Disk.BlockSize {
+		return WriteResult{Err: fmt.Sprintf("store: record for %q is %d bytes; max %d", key, rec, sh.s.P.Disk.BlockSize-1-blockHeader-recHeader)}
 	}
 	old, existed := sh.idx[key]
 	ver := old.ver + 1 // tombstones keep their version, so re-creation continues the sequence
@@ -505,9 +688,17 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
+	if existed {
+		sh.liveBytes -= recHeader + len(key)
+		if !old.dead {
+			sh.liveBytes -= old.vlen
+		}
+	}
+	sh.liveBytes += rec
 	sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - len(val), vlen: len(val), ver: ver}
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
 	sh.armFlush(t)
+	sh.maybeCompact(t)
 	return kernel.Deferred
 }
 
@@ -516,6 +707,9 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 // version sequence survives deletion.
 func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 	sh.s.Deletes++
+	if sh.failed != "" {
+		return WriteResult{Err: sh.failed}
+	}
 	old, ok := sh.idx[key]
 	if !ok || old.dead {
 		return WriteResult{OK: true, Found: false}
@@ -525,14 +719,19 @@ func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
-	sh.idx[key] = loc{ver: ver, dead: true}
+	sh.liveBytes -= old.vlen
+	sh.idx[key] = loc{block: sh.openBlock, ver: ver, dead: true}
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: true, Ver: ver}})
 	sh.armFlush(t)
+	sh.maybeCompact(t)
 	return kernel.Deferred
 }
 
 func (sh *shard) scan(a scanArg) ScanResult {
 	sh.s.Scans++
+	if sh.failed != "" {
+		return ScanResult{Err: sh.failed}
+	}
 	var keys []string
 	for k, l := range sh.idx {
 		if !l.dead && strings.HasPrefix(k, a.Prefix) {
@@ -550,24 +749,36 @@ func (sh *shard) scan(a scanArg) ScanResult {
 	return out
 }
 
+// writeEpoch is the epoch whose region appends currently land in: the
+// committed epoch normally, the next one while a compaction is filling
+// the fresh region.
+func (sh *shard) writeEpoch() uint64 {
+	if sh.comp != nil {
+		return sh.epoch + 1
+	}
+	return sh.epoch
+}
+
 // append adds one record to the open block, sealing (flushing and
 // advancing past) the block first if the record does not fit. Reports
-// false when the log region is exhausted.
+// false when the write epoch's region is exhausted.
 func (sh *shard) append(t *core.Thread, op byte, key string, val []byte, ver uint64) bool {
+	if sh.open == nil {
+		sh.open = stampEpoch(sh.writeEpoch())
+	}
 	rec := recHeader + len(key) + len(val)
 	if len(sh.open)+rec+1 > sh.s.P.Disk.BlockSize {
-		// Seal: write out the full block and open the next one. The
-		// sealed contents stay hot in the cache (this is the write-back
-		// path — the block was served from memory its whole open life).
-		if sh.openBlock+1 >= sh.s.P.LogBlocks {
+		if sh.openBlock+1 >= sh.s.region(sh.writeEpoch()).End() {
 			return false
 		}
-		if sh.dirty > 0 {
-			sh.flush(t) // records not yet covered by an issued write
-		}
-		sh.cache.put(sh.openBlock, copyBytes(sh.open))
+		// Seal: the block's final contents go to disk now; the cache
+		// copy is inserted only when that write completes (flushed), so
+		// a cache hit never serves bytes the platters might not have. A
+		// GET landing in the seal-to-completion gap takes a disk read
+		// queued behind the seal write — slower, never stale.
+		sh.flush(t, true)
 		sh.openBlock++
-		sh.open = nil
+		sh.open = stampEpoch(sh.writeEpoch())
 	}
 	sh.open = encRecord(sh.open, op, key, val, ver)
 	sh.dirty++
@@ -591,84 +802,200 @@ func (sh *shard) armFlush(t *core.Thread) {
 // flush writes the open block's current contents back to the log device
 // and hands the waiting acks to the completion interrupt. The disk
 // queues internally, so the shard never blocks — it goes straight back
-// to serving requests.
-func (sh *shard) flush(t *core.Thread) {
+// to serving requests. sealed marks a block being written for the last
+// time: its contents enter the cache when (and only when) this write
+// completes.
+func (sh *shard) flush(t *core.Thread, sealed bool) {
 	batch := sh.waiters
 	sh.waiters = nil
 	sh.dirty = 0
 	sh.s.FlushesStarted++
+	sh.flushesIssued++
+	block, data := sh.openBlock, copyBytes(sh.open)
+	var cacheData []byte
+	if sealed {
+		cacheData = data
+	}
 	svc, id, from := sh.s.svc, sh.id, t.Core()
 	rt := sh.s.rt
 	sh.disk.Program(t, blockdev.Request{
-		Op: blockdev.Write, Block: sh.openBlock, Data: copyBytes(sh.open),
+		Op: blockdev.Write, Block: block, Data: data,
 	}, func(res blockdev.Result) {
 		rt.InjectSend(svc.Shard(id), kernel.Request{
 			Op: "flushed", Key: id,
-			Arg: flushDone{batch: batch, ok: res.OK, err: res.Err},
+			Arg: flushDone{batch: batch, block: block, data: cacheData, sealed: sealed, ok: res.OK, err: res.Err},
 		}, from)
 	})
 }
 
 // flushed is the disk completion interrupt: the records carried by the
-// write are durable, so their acknowledgements go out now.
+// write are durable, so their acknowledgements go out now. A failed
+// write fail-stops the shard instead — the in-memory index and cache
+// refer to records the platters never got, so continuing to serve would
+// hand out state a restart provably diverges from.
 func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	sh.s.FlushesDone++
+	sh.flushesDone++
 	sh.s.FlushedRecords += uint64(len(d.batch))
-	for _, pw := range d.batch {
-		res := pw.res
-		if !d.ok {
-			res = WriteResult{Err: d.err}
-		}
-		if pw.reply != nil {
-			if d.ok {
-				sh.s.AckedWrites++
+	if !d.ok {
+		for _, pw := range d.batch {
+			if pw.reply != nil {
+				pw.reply.Send(t, WriteResult{Err: d.err})
 			}
-			pw.reply.Send(t, res)
 		}
+		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: log write: %s", sh.id, d.err))
+		return
+	}
+	if sh.failed != "" {
+		// A straggler flush completing after fail-stop: its records are
+		// durable, but the shard is condemned — nack and let recovery
+		// sort out the truth from the log.
+		for _, pw := range d.batch {
+			if pw.reply != nil {
+				pw.reply.Send(t, WriteResult{Err: sh.failed})
+			}
+		}
+		return
+	}
+	if d.sealed {
+		sh.cache.put(d.block, d.data)
+	}
+	for _, pw := range d.batch {
+		if pw.reply != nil {
+			sh.s.AckedWrites++
+			pw.reply.Send(t, pw.res)
+		}
+	}
+	sh.maybeCommitEpoch(t)
+}
+
+// failStop condemns the shard: every parked waiter is nacked and every
+// subsequent request refused. Deterministic nack order (writers in
+// arrival order, then parked reads by block number) keeps seeded replay
+// exact.
+func (sh *shard) failStop(t *core.Thread, err string) {
+	if sh.failed != "" {
+		return
+	}
+	sh.failed = err
+	sh.s.FailedShards++
+	sh.comp = nil
+	for _, pw := range sh.waiters {
+		if pw.reply != nil {
+			pw.reply.Send(t, WriteResult{Err: err})
+		}
+	}
+	sh.waiters = nil
+	blocks := make([]int, 0, len(sh.reads))
+	for b := range sh.reads {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		for _, pr := range sh.reads[b] {
+			if pr.reply != nil {
+				pr.reply.Send(t, GetResult{Err: err})
+			}
+		}
+		delete(sh.reads, b)
 	}
 }
 
-// recover rebuilds the shard from its log device: read blocks front to
-// back, apply records in order (last write wins), stop at the first
-// empty block. The tail block's surviving bytes become the open block
-// again, so appending resumes where the crash cut it off. Recovery runs
-// as the shard's first message — it may block on the disk; requests
-// queue up behind it in FIFO order and are served against the recovered
-// state.
+// recover rebuilds the shard from its log device. The superblock's
+// sealed epoch record picks the active region unambiguously; its region
+// is replayed front to back, stopping at the first block not stamped
+// with the epoch. Then the *other* region is probed for blocks stamped
+// epoch+1 — durable survivors of a compaction that was in flight when
+// the crash hit (copies of old records plus fresh writes redirected
+// there). Replay is version-aware (a key's highest version wins), so
+// the inter-region ordering is immaterial and stale tails from earlier
+// region occupancies can never resurrect old state. If the compaction
+// region held anything, the shard resumes the compaction exactly where
+// the tail leaves off; otherwise appending resumes in the active
+// region. Recovery runs as the shard's first message — it may block on
+// the disk; requests queue behind it in FIFO order and are served
+// against the recovered state.
 func (sh *shard) recover(t *core.Thread) {
 	rt := sh.s.rt
 	irq := t.NewChan(fmt.Sprintf("store.%d.recover", sh.id), 1)
 	from := t.Core()
-	for b := 0; b < sh.s.P.LogBlocks; b++ {
+	readBlock := func(b int) blockdev.Result {
 		sh.disk.Program(t, blockdev.Request{Op: blockdev.Read, Block: b}, func(res blockdev.Result) {
 			rt.InjectSend(irq, res, from)
 		})
 		v, _ := irq.Recv(t)
-		res := v.(blockdev.Result)
-		if !res.OK {
-			break
+		return v.(blockdev.Result)
+	}
+	if sb := readBlock(0); sb.OK {
+		sh.epoch = decSuper(sb.Data)
+	}
+	apply := func(b int, op byte, key string, valOff, vlen int, ver uint64) {
+		if cur, ok := sh.idx[key]; ok && cur.ver > ver {
+			return
 		}
-		parsed := 0
-		for {
-			op, key, valOff, vlen, ver, n := decRecord(res.Data, parsed)
-			if n == 0 {
+		switch op {
+		case recPut:
+			sh.idx[key] = loc{block: b, off: valOff, vlen: vlen, ver: ver}
+		case recDel:
+			sh.idx[key] = loc{block: b, ver: ver, dead: true}
+		}
+	}
+	// replayRegion applies every record in epoch-stamped blocks of
+	// epoch's region and returns the tail block (-1 if none), its
+	// surviving bytes, and the number of blocks replayed.
+	replayRegion := func(epoch uint64) (tailBlock int, tail []byte, blocks int) {
+		r := sh.s.region(epoch)
+		tailBlock = -1
+		for b := r.Start; b < r.End(); b++ {
+			res := readBlock(b)
+			if !res.OK || blockEpoch(res.Data) != epoch {
 				break
 			}
-			switch op {
-			case recPut:
-				sh.idx[key] = loc{block: b, off: valOff, vlen: vlen, ver: ver}
-			case recDel:
-				sh.idx[key] = loc{ver: ver, dead: true}
+			parsed := blockHeader
+			for {
+				op, key, valOff, vlen, ver, n := decRecord(res.Data, parsed)
+				if n == 0 {
+					break
+				}
+				apply(b, op, key, valOff, vlen, ver)
+				parsed += n
+				sh.s.Replayed++
 			}
-			parsed += n
-			sh.s.Replayed++
+			if parsed == blockHeader {
+				break // stamp matched by accident (epoch 0 = zeroes): never written
+			}
+			tailBlock, tail, blocks = b, copyBytes(res.Data[:parsed]), blocks+1
 		}
-		if parsed == 0 {
-			break // first never-written block: end of log
-		}
-		sh.openBlock = b
-		sh.open = copyBytes(res.Data[:parsed])
+		return
 	}
+	aTail, aBytes, _ := replayRegion(sh.epoch)
+	cTail, cBytes, cBlocks := replayRegion(sh.epoch + 1)
+	sh.liveBytes = 0
+	for k, l := range sh.idx {
+		sh.liveBytes += recHeader + len(k)
+		if !l.dead {
+			sh.liveBytes += l.vlen
+		}
+	}
+	if cBlocks > 0 {
+		// Crash mid-compaction: the fresh region already holds durable
+		// epoch+1 records. Keep them in place, append after them, and
+		// finish the job — copy whatever still points into the old
+		// region, then commit the epoch as usual.
+		srcUsed := 0
+		if aTail >= 0 {
+			srcUsed = (aTail-sh.s.regionStart(sh.epoch))*sh.s.P.Disk.BlockSize + len(aBytes)
+		}
+		sh.openBlock, sh.open = cTail, cBytes
+		sh.resumeCompaction(t, srcUsed)
+		return
+	}
+	if aTail >= 0 {
+		sh.openBlock, sh.open = aTail, aBytes
+	} else {
+		sh.openBlock, sh.open = sh.s.regionStart(sh.epoch), nil
+	}
+	sh.maybeCompact(t)
 }
 
 func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }

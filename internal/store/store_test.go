@@ -320,6 +320,130 @@ func TestAckedWritesSurviveImmediateCrash(t *testing.T) {
 	}
 }
 
+// TestFailedFlushFailStopsShard: a failed group-commit write used to
+// nack its waiters but leave the index and cache pointing at records
+// that never persisted — readers then served values whose writes were
+// reported failed, and a restart diverged from the live view. The fix
+// is fail-stop: the shard refuses everything after a log-write error,
+// and a restart recovers exactly the durable prefix.
+func TestFailedFlushFailStopsShard(t *testing.T) {
+	p := smallParams()
+	p.Shards = 1
+	w := newSW(8, p, 21, nil)
+	checked := false
+	w.rt.Boot("app", func(th *core.Thread) {
+		if r := w.kv.Put(th, "good", []byte("v1")); !r.OK {
+			t.Errorf("setup put: %+v", r)
+			return
+		}
+		w.kv.Disks()[0].InjectWriteFailures(1)
+		if r := w.kv.Put(th, "bad", []byte("boom")); r.OK || r.Err == "" {
+			t.Errorf("write riding a failed flush was acked: %+v", r)
+		}
+		// The shard must now refuse everything — in particular it must
+		// not serve "bad" from the open block it still sits in.
+		if g := w.kv.Get(th, "bad"); g.Err == "" || g.Found {
+			t.Errorf("fail-stopped shard served an unpersisted write: %+v", g)
+		}
+		if g := w.kv.Get(th, "good"); g.Err == "" {
+			t.Errorf("fail-stopped shard served a read: %+v", g)
+		}
+		if r := w.kv.Put(th, "after", []byte("x")); r.OK {
+			t.Errorf("fail-stopped shard accepted a write: %+v", r)
+		}
+		if sc := w.kv.Scan(th, "", 0); sc.Err == "" {
+			t.Errorf("fail-stopped shard answered a scan: %+v", sc)
+		}
+		checked = true
+	})
+	w.rt.Run()
+	if !checked {
+		t.Fatal("app thread never finished")
+	}
+	if w.kv.FailedShards != 1 {
+		t.Fatalf("FailedShards = %d, want 1", w.kv.FailedShards)
+	}
+
+	// Restart on the surviving platters: the acked write is there, the
+	// failed one provably is not — live view and recovered view agree.
+	data := w.kv.Disks()[0].SnapshotData()
+	w.rt.Shutdown()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(8))
+	rt := core.NewRuntime(m, core.Config{Seed: 22})
+	defer rt.Shutdown()
+	k := kernel.New(rt, kernel.Config{})
+	kv := New(rt, k, p, []*blockdev.Disk{blockdev.NewDiskFrom(rt, pFilled(p), data)})
+	ok := false
+	rt.Boot("auditor", func(th *core.Thread) {
+		if g := kv.Get(th, "good"); !g.Found || string(g.Val) != "v1" {
+			t.Errorf("acked write lost across fail-stop restart: %+v", g)
+		}
+		if g := kv.Get(th, "bad"); g.Found {
+			t.Errorf("failed-reported write survived restart: %+v", g)
+		}
+		ok = true
+	})
+	rt.Run()
+	if !ok {
+		t.Fatal("auditor never finished")
+	}
+}
+
+// TestSealedBlockNotCachedUntilFlushed pins the seal/cache ordering: a
+// sealed block's contents enter the cache only when the write that
+// seals it completes. A GET landing in the seal-to-completion gap must
+// go to the disk (queued behind the seal write — slower, never data the
+// platters might not get), and once the flush completes the block must
+// serve as a cache hit without a disk read.
+func TestSealedBlockNotCachedUntilFlushed(t *testing.T) {
+	p := smallParams()
+	p.Shards = 1
+	w := newSW(8, p, 25, nil)
+	defer w.rt.Shutdown()
+	val := make([]byte, 600) // 6 records per 4 KB block
+	done := false
+	w.rt.Boot("app", func(th *core.Thread) {
+		// Overflow the first block with async puts, then read a key from
+		// it before the seal write's completion interrupt can arrive.
+		var acks []*core.Chan
+		for i := 0; i < 7; i++ {
+			acks = append(acks, w.kv.PutAsync(th, fmt.Sprintf("k%02d", i), val))
+		}
+		missesBefore := w.kv.CacheMisses
+		if g := w.kv.Get(th, "k00"); !g.Found || len(g.Val) != len(val) {
+			t.Errorf("get in the seal window: %+v", g)
+		}
+		if w.kv.CacheMisses == missesBefore {
+			t.Error("sealed-but-unflushed block served from the cache")
+		}
+		for _, a := range acks {
+			a.Recv(th)
+		}
+		// Seal a second block and let its flush complete (synchronous
+		// puts): it must now be in the cache purely from the
+		// flush-completion path — no read miss involved.
+		for i := 7; i < 14; i++ {
+			if r := w.kv.Put(th, fmt.Sprintf("k%02d", i), val); !r.OK {
+				t.Errorf("put %d: %+v", i, r)
+			}
+		}
+		missesBefore = w.kv.CacheMisses
+		hitsBefore := w.kv.CacheHits
+		if g := w.kv.Get(th, "k07"); !g.Found {
+			t.Errorf("get after flush completion: %+v", g)
+		}
+		if w.kv.CacheMisses != missesBefore || w.kv.CacheHits == hitsBefore {
+			t.Error("flushed sealed block did not serve as a cache hit")
+		}
+		done = true
+	})
+	w.rt.Run()
+	if !done {
+		t.Fatal("app thread never finished")
+	}
+}
+
 // pFilled resolves a Params' disk geometry the way New does.
 func pFilled(p Params) blockdev.DiskParams {
 	p.fill()

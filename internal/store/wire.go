@@ -94,7 +94,7 @@ func (s *Store) Apply(t *core.Thread, req KVRequest) KVResponse {
 		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
 	case WScan:
 		r := s.Scan(t, req.Key, req.Limit)
-		return KVResponse{Seq: req.Seq, OK: true, Found: len(r.Keys) > 0, Keys: r.Keys, Vers: r.Vers}
+		return KVResponse{Seq: req.Seq, OK: r.Err == "", Found: len(r.Keys) > 0, Keys: r.Keys, Vers: r.Vers, Err: r.Err}
 	}
 	return KVResponse{Seq: req.Seq, Err: "store: unknown wire op"}
 }

@@ -56,6 +56,20 @@ if [ "$short" = "0" ]; then
         echo "verify: store served zero operations in every configuration" >&2
         exit 1
     fi
+    # The E15d sustained-churn table is the compaction gate: a tiny-region
+    # workload writes many times the log capacity, and not one write may
+    # be refused ("refused" column all 0) while compactions actually run.
+    churn=$(echo "$out" | sed -n '/E15d \/ sustained churn/,/^$/p')
+    [ -n "$churn" ] || {
+        echo "verify: E15d churn table missing" >&2
+        exit 1
+    }
+    if ! echo "$churn" | awk '/^[0-9]/{ rows++; if ($3 != "0") bad=1; if ($4+0 > 0) compacted=1 }
+        END { exit !(rows > 0 && !bad && compacted) }'; then
+        echo "verify: churn workload had writes refused (or never compacted)" >&2
+        exit 1
+    fi
+
     # -json must have produced a parseable artifact with rows in it.
     test -s BENCH_E15.json || {
         echo "verify: BENCH_E15.json missing or empty" >&2
