@@ -57,6 +57,10 @@ func BenchmarkNetstack(b *testing.B) { benchExperiment(b, "E14") }
 // E15 store scaling experiment (cores, store shards, read/write mix).
 func BenchmarkStore(b *testing.B) { benchExperiment(b, "E15") }
 
+// BenchmarkStoreReplication is the machine-loss durability benchmark:
+// the full E16 experiment (local vs quorum cost, seeded primary kills).
+func BenchmarkStoreReplication(b *testing.B) { benchExperiment(b, "E16") }
+
 // Ablations (design-choice knobs called out in DESIGN.md).
 
 func BenchmarkA1MsgCostSensitivity(b *testing.B)  { benchExperiment(b, "A1") }

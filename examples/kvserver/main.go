@@ -32,6 +32,7 @@ func main() {
 		seed      = flag.Uint64("seed", 7, "simulation seed")
 		loss      = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
 		logBlocks = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
+		replicas  = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
 	)
 	flag.Parse()
 
@@ -45,10 +46,29 @@ func main() {
 	nw := sys.NewNetwork(nic, wp)
 	st := sys.NewNetStack(k, nic, net.StackParams{})
 	kv := sys.NewStore(k, store.Params{LogBlocks: *logBlocks})
+	var rm *store.ReplicaMachine
+	if *replicas > 0 {
+		if *replicas > 1 {
+			fmt.Println("kvserver: only one replica machine is supported; running with 1")
+		}
+		rwp := net.DefaultWireParams()
+		rwp.Seed = *seed + 1
+		rm = store.NewReplicaMachine(sys.Eng, store.ReplicaMachineParams{
+			Cores: *cores, Seed: *seed + 2,
+			Store: store.Params{Shards: kv.Shards(), LogBlocks: *logBlocks},
+			Wire:  rwp,
+		}, nil)
+		defer rm.Shutdown()
+		kv.ReplicateTo(rm)
+	}
 	l := st.Listen(6379)
 
-	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d\n",
-		*cores, kv.Shards(), st.Shards(), *clients, *keys, *readPct, *seed)
+	mode := "local-only durability"
+	if rm != nil {
+		mode = "quorum replication to a second machine"
+	}
+	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d, %s\n",
+		*cores, kv.Shards(), st.Shards(), *clients, *keys, *readPct, *seed, mode)
 
 	// Accept loop: every connection gets a serving thread.
 	sys.Boot("accept", func(t *chanos.Thread) {
@@ -140,4 +160,12 @@ func main() {
 		kv.CompactionsDone, kv.CompactedRecords, kv.LogFull, kv.LiveRatio())
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
 		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.RxDrops)
+	if rm != nil {
+		var rWrites uint64
+		for _, d := range rm.KV.Disks() {
+			rWrites += d.Writes
+		}
+		fmt.Printf("  replication  %8d batches (%d records) shipped, %d acks; replica applied %d (%d stale), %d disk writes\n",
+			kv.ReplBatches, kv.ReplRecords, kv.ReplAcks, rm.KV.ReplApplied, rm.KV.ReplStale, rWrites)
+	}
 }

@@ -266,11 +266,45 @@ func TestE15StoreScalesWithCores(t *testing.T) {
 	}
 }
 
+// --- E16: replication ---
+
+// TestE16QuorumCostsLatencyButLosesNothing: quorum acks must cost p99
+// (an inter-machine RTT plus the replica's group commit is real work),
+// and a primary kill must lose zero acknowledged writes.
+func TestE16QuorumCostsLatencyButLosesNothing(t *testing.T) {
+	window := sim.Time(4_000_000)
+	local := e16Run(q, 16, 16, 64, 70, window, false)
+	quorum := e16Run(q, 16, 16, 64, 70, window, true)
+	if quorum.replBatches == 0 || quorum.replRecords == 0 {
+		t.Fatalf("quorum mode shipped nothing: %+v", quorum)
+	}
+	if local.replBatches != 0 {
+		t.Fatalf("local mode shipped replication batches: %+v", local)
+	}
+	if quorum.p99Us <= local.p99Us {
+		t.Fatalf("quorum p99 (%.1fus) should exceed local p99 (%.1fus): the RTT is not free",
+			quorum.p99Us, local.p99Us)
+	}
+	if quorum.ackedWrites == 0 {
+		t.Fatal("quorum mode acked nothing")
+	}
+	kill := e16Kill(q, 42, 3_000_000)
+	if kill.ackedPuts == 0 || kill.tracked == 0 {
+		t.Fatalf("kill run tracked no acked PUTs: %+v", kill)
+	}
+	if kill.lost != 0 {
+		t.Fatalf("primary kill lost %d acked writes (of %d tracked keys)", kill.lost, kill.tracked)
+	}
+	if kill.replayed == 0 {
+		t.Fatal("failover recovery replayed nothing")
+	}
+}
+
 // --- registry and full-suite smoke ---
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
-		"E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -188,15 +188,10 @@ func (sh *shard) compactStep(t *core.Thread) {
 		}
 		data, hit := sh.cache.get(l.block)
 		if !hit {
-			// Park the sweep on the block read. The pendingRead with no
-			// reply just materialises the block into the cache; any GETs
-			// parked on the same block ride the same read.
+			// Park the sweep on the block read; any GETs parked on the
+			// same block ride the same read.
 			c.waitBlock = l.block
-			waiting := sh.reads[l.block]
-			sh.reads[l.block] = append(waiting, pendingRead{})
-			if len(waiting) == 0 {
-				sh.programRead(t, l.block)
-			}
+			sh.parkRead(t, l.block, pendingRead{})
 			return
 		}
 		val := data[l.off : l.off+l.vlen]
@@ -271,5 +266,14 @@ func (sh *shard) epochDone(t *core.Thread, d flushDone) {
 	sh.s.CompactionsDone++
 	sh.cache.dropRange(retired.Start, retired.End())
 	sh.disk.Trim(retired.Start, retired.Blocks)
+	// The committed superblock switch travels to the replica too, and a
+	// bootstrap sync paused behind this compaction resumes (or, deferred
+	// behind a recovery-resumed compaction, starts) now.
+	sh.replEpochSwitch(t)
+	if r := sh.repl; r != nil && r.sync != nil {
+		sh.scheduleReplSync(t)
+	} else {
+		sh.maybeStartReplSync(t)
+	}
 	sh.maybeCompact(t)
 }

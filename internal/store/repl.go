@@ -1,0 +1,576 @@
+// Per-shard log replication: the store's durability story extended
+// from disk loss to machine loss. Each primary shard streams its log
+// records to a replica shard on a *second simulated machine*, reached
+// over the ordinary internal/net wire (NIC, RSS, netstack shards,
+// seeded delay/jitter/loss — the replica pays real cycles on its own
+// cores), and a write is acknowledged only on quorum: the primary's
+// group-commit flush AND the replica's append ack must both be durable.
+// The deferral rides the existing kernel.Deferred discipline — a
+// locally-durable write parks in replWait until the replica's
+// cumulative ack covers its sequence number, exactly like a flush
+// interrupt or an rto re-entering the shard as a message.
+//
+// Bootstrap and catch-up ship a freshly compacted image, not the raw
+// garbage-bearing log: when replication attaches to a shard that
+// already carries state (a store recovered from disks), the shard
+// walks a sorted snapshot of its index in bounded increments (the
+// compaction sweep's discipline, including parking on cache-miss
+// reads) and streams live records plus tombstones — one epoch's worth
+// of truth, no garbage. Fresh writes issued mid-sync stream in
+// sequence order around the sync batches; version-aware apply on the
+// replica makes the overlap idempotent.
+//
+// Failover is recovery: kill the primary at any instant and the
+// replica's disks hold every acknowledged write (the client ack
+// happened after the replica's flush, by construction), so booting a
+// store from the replica's platters recovers exactly the acknowledged
+// state via the existing version-aware replay. See DESIGN.md §store
+// for the crash/partition matrix.
+package store
+
+import (
+	"fmt"
+
+	"chanos/internal/blockdev"
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+	"chanos/internal/machine"
+	"chanos/internal/net"
+	"chanos/internal/sim"
+)
+
+// ReplRecord is one replicated log record. The version travels with it:
+// the replica applies records at the primary's versions (version-aware,
+// so duplicates and sync/stream overlap are idempotent), never minting
+// its own.
+type ReplRecord struct {
+	Op  byte // recPut or recDel
+	Key string
+	Val []byte
+	Ver uint64
+}
+
+// ReplBatch is one primary shard's replication message: the records of
+// one group commit (or one bootstrap-sync increment), plus the shard's
+// committed region epoch so the replica can follow the primary's
+// superblock epoch switches. Seq is the replication sequence of the
+// LAST record in the batch; batches from one shard ship in sequence
+// order on one connection, so a cumulative ack of Seq covers every
+// record the shard ever shipped up to it — which is also how bootstrap
+// completion is tracked: the primary remembers the sequence its image
+// completed at (syncEndSeq) and compares the cumulative ack against it,
+// so the batch needs no sync markers of its own.
+type ReplBatch struct {
+	Shard int
+	Seq   uint64
+	Epoch uint64
+	Recs  []ReplRecord
+}
+
+// MsgBytes implements core.Sized.
+func (b ReplBatch) MsgBytes() int {
+	n := 40
+	for _, r := range b.Recs {
+		n += 17 + len(r.Key) + len(r.Val)
+	}
+	return n
+}
+
+// WireBytes is the batch's simulated size on the wire.
+func (b ReplBatch) WireBytes() int { return b.MsgBytes() }
+
+// ReplAck is the replica's durability receipt: every record with
+// sequence <= Seq is on the replica's platters. A non-empty Err means
+// the replica shard fail-stopped; the primary shard fail-stops too
+// (the quorum is unreachable, so no further write could ever be
+// honestly acknowledged).
+type ReplAck struct {
+	Shard int
+	Seq   uint64
+	Err   string
+}
+
+// MsgBytes implements core.Sized.
+func (a ReplAck) MsgBytes() int { return 24 + len(a.Err) }
+
+// WireBytes is the ack's simulated wire size.
+func (a ReplAck) WireBytes() int { return a.MsgBytes() }
+
+// replFail is the shard-handler argument for a dead replication
+// connection (endpoint gave up or the replica closed on us).
+type replFail struct{ err string }
+
+// MsgBytes implements core.Sized.
+func (f replFail) MsgBytes() int { return 16 + len(f.err) }
+
+// replTxCycles is the primary-side descriptor/DMA cost charged per
+// shipped batch (the shard programs its NIC like the netstack does);
+// the payload additionally costs bytes>>3, the machine's message rate.
+const replTxCycles = 1200
+
+// replShard is the primary-side replication state of one shard. Only
+// the shard's handler thread touches it (hook callbacks re-enter the
+// shard as "replopen"/"replack"/"replfail" messages).
+type replShard struct {
+	ep     *net.Endpoint
+	open   bool        // handshake with the replica machine completed
+	queued []ReplBatch // ships deferred until the connection opens
+
+	lastSeq  uint64       // last replication sequence assigned
+	ackedSeq uint64       // cumulative replica-durable sequence
+	out      []ReplRecord // records captured since the last ship
+
+	sync       *replSync // in-flight bootstrap sweep, nil when idle
+	synced     bool      // the replica holds a complete image
+	syncEndSeq uint64    // sequence the bootstrap image completed at
+}
+
+// replSync is one in-flight bootstrap/catch-up sweep: a sorted
+// snapshot of the index walked in bounded increments, each a deferred
+// "replsync" self-message — the compaction sweep's discipline, reused
+// for shipping a compacted image over the wire instead of into the
+// device's other region.
+type replSync struct {
+	keys      []string
+	next      int
+	waitBlock int // source block a parked increment needs (-1 = none)
+}
+
+// ReplicaMachineParams configures the second simulated machine.
+type ReplicaMachineParams struct {
+	// Cores on the replica machine. Default 8.
+	Cores int
+	// Seed for the replica machine's runtime. Default 1.
+	Seed uint64
+	// Port the replica listens on for replication connections.
+	// Default 6380.
+	Port int
+	// Store is the replica store's parameters. Shards must equal the
+	// primary's shard count (ReplicateTo enforces it): primary shard i
+	// streams to replica shard i, which the shared key hash guarantees
+	// once the counts match.
+	Store Params
+	// Wire models the inter-machine link (delay, jitter, loss, RTO).
+	Wire net.WireParams
+	// Kernel lays out the replica's kernel cores.
+	Kernel kernel.Config
+}
+
+// ReplicaMachine is the second simulated machine: its own cores, NIC,
+// netstack, kernel and store (with its own per-shard log devices), on
+// the same simulation engine as the primary. Replication traffic costs
+// replica cycles exactly like client traffic costs primary cycles.
+type ReplicaMachine struct {
+	M    *machine.Machine
+	RT   *core.Runtime
+	K    *kernel.Kernel
+	NIC  *machine.NIC
+	NW   *net.Network
+	Stk  *net.Stack
+	KV   *Store
+	Port int
+}
+
+// NewReplicaMachine boots the replica machine on eng and starts its
+// accept loop: every replication connection gets a serving thread
+// running ServeReplica. disks carries replica storage over from a
+// previous life (recovery), nil boots fresh devices.
+func NewReplicaMachine(eng *sim.Engine, p ReplicaMachineParams, disks []*blockdev.Disk) *ReplicaMachine {
+	if p.Cores <= 0 {
+		p.Cores = 8
+	}
+	if p.Port == 0 {
+		p.Port = 6380
+	}
+	m := machine.New(eng, machine.DefaultParams(p.Cores))
+	rt := core.NewRuntime(m, core.Config{Seed: p.Seed})
+	k := kernel.New(rt, p.Kernel)
+	nic := machine.NewNIC(m, machine.NICParams{})
+	nw := net.NewNetwork(eng, nic, p.Wire)
+	stk := net.NewStack(rt, k, nic, net.StackParams{})
+	kv := New(rt, k, p.Store, disks)
+	l := stk.Listen(p.Port)
+	rm := &ReplicaMachine{M: m, RT: rt, K: k, NIC: nic, NW: nw, Stk: stk, KV: kv, Port: p.Port}
+	rt.Boot("repl.accept", func(t *core.Thread) {
+		for {
+			c, ok := l.Accept(t)
+			if !ok {
+				return
+			}
+			t.Spawn(fmt.Sprintf("repl.%d", c.ID()), func(ht *core.Thread) {
+				ServeReplica(ht, c, kv)
+			})
+		}
+	})
+	return rm
+}
+
+// Shutdown tears the replica machine down.
+func (rm *ReplicaMachine) Shutdown() { rm.RT.Shutdown() }
+
+// ReplicateTo attaches quorum replication: every primary shard dials a
+// connection to rm's replication port and, from then on, no write is
+// acknowledged until both the local flush and the replica's append ack
+// are durable. Attach before the simulation runs (alongside New); a
+// store recovered from disks bootstraps each shard by streaming a
+// freshly compacted image of its index (see replSyncStep).
+func (s *Store) ReplicateTo(rm *ReplicaMachine) {
+	if rm.KV.Shards() != s.Shards() {
+		panic(fmt.Sprintf("store: replica has %d shards, primary %d — counts must match",
+			rm.KV.Shards(), s.Shards()))
+	}
+	s.replica = rm
+	for i, sh := range s.shards {
+		r := &replShard{}
+		if !s.recovered {
+			r.synced = true // both sides boot empty: nothing to bootstrap
+		}
+		sh.repl = r
+		i, svc, rt := i, s.svc, s.rt
+		r.ep = rm.NW.Dial(rm.Port, net.EndpointHooks{
+			OnOpen: func(*net.Endpoint) {
+				rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replopen", Key: i}, 0)
+			},
+			OnMessage: func(_ *net.Endpoint, payload core.Msg, _ int) {
+				if a, ok := payload.(ReplAck); ok {
+					rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replack", Key: i, Arg: a}, 0)
+				}
+			},
+			OnClose: func(*net.Endpoint) {
+				rt.InjectSend(svc.Shard(i), kernel.Request{
+					Op: "replfail", Key: i, Arg: replFail{err: "store: replication connection closed"},
+				}, 0)
+			},
+			OnFail: func(*net.Endpoint) {
+				rt.InjectSend(svc.Shard(i), kernel.Request{
+					Op: "replfail", Key: i, Arg: replFail{err: "store: replication connection failed (retries exhausted)"},
+				}, 0)
+			},
+		})
+	}
+}
+
+// Replicated reports whether quorum replication is attached.
+func (s *Store) Replicated() bool { return s.replica != nil }
+
+// ReplCaughtUp reports whether every shard's bootstrap image is
+// complete AND acknowledged by the replica — from this point on, a
+// primary loss loses nothing acknowledged, including pre-replication
+// state.
+func (s *Store) ReplCaughtUp() bool {
+	for _, sh := range s.shards {
+		r := sh.repl
+		if r == nil || !r.synced || r.ackedSeq < r.syncEndSeq {
+			return false
+		}
+	}
+	return len(s.shards) > 0
+}
+
+// --- primary-side shard machinery ---
+
+// replCapture assigns the next replication sequence to a freshly
+// appended record and buffers it for the next ship (at the group-commit
+// flush, so replication batches ride the same cadence as the disk).
+// The value is copied: the batch ships after this call returns, and a
+// pipelining writer may legitimately reuse its buffer the moment the
+// append is in the primary's open block — the replica must log the
+// bytes the primary logged, not whatever the buffer holds later.
+// Returns 0 when replication is off. Compaction's re-appends never come
+// through here: the replica already holds those records.
+func (sh *shard) replCapture(op byte, key string, val []byte, ver uint64) uint64 {
+	r := sh.repl
+	if r == nil {
+		return 0
+	}
+	r.lastSeq++
+	rec := ReplRecord{Op: op, Key: key, Ver: ver}
+	if len(val) > 0 {
+		rec.Val = copyBytes(val)
+	}
+	r.out = append(r.out, rec)
+	return r.lastSeq
+}
+
+// replShipOut ships the buffered records as one batch. Ship order is
+// sequence order — replSyncStep calls this before assigning its own
+// sequences, which is what makes the replica's cumulative ack sound.
+func (sh *shard) replShipOut(t *core.Thread) {
+	r := sh.repl
+	if r == nil || len(r.out) == 0 {
+		return
+	}
+	b := ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: r.out}
+	r.out = nil
+	sh.replSend(t, b)
+}
+
+// replSend puts one batch on the wire (or queues it until the
+// connection opens), charging the shard the NIC programming cost.
+func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
+	r := sh.repl
+	sh.s.ReplBatches++
+	sh.s.ReplRecords += uint64(len(b.Recs))
+	t.Compute(replTxCycles + uint64(b.WireBytes())>>3)
+	if !r.open {
+		r.queued = append(r.queued, b)
+		return
+	}
+	r.ep.Send(b, b.WireBytes())
+}
+
+// replOpen is the handshake-complete message: release everything queued
+// behind the connection setup.
+func (sh *shard) replOpen(t *core.Thread) {
+	r := sh.repl
+	if r == nil || sh.failed != "" {
+		return
+	}
+	r.open = true
+	for _, b := range r.queued {
+		r.ep.Send(b, b.WireBytes())
+	}
+	r.queued = nil
+}
+
+// replAckIn lands the replica's cumulative durability receipt and
+// releases every locally-durable write whose sequence it covers — the
+// quorum is complete for exactly those.
+func (sh *shard) replAckIn(t *core.Thread, a ReplAck) {
+	r := sh.repl
+	if r == nil {
+		return
+	}
+	if a.Err != "" {
+		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: replica: %s", sh.id, a.Err))
+		return
+	}
+	if sh.failed != "" {
+		return
+	}
+	sh.s.ReplAcks++
+	if a.Seq > r.ackedSeq {
+		r.ackedSeq = a.Seq
+	}
+	sh.drainQuorum(t)
+}
+
+// drainQuorum releases acks whose writes are durable on BOTH machines:
+// replWait holds them in sequence order (flushes complete in issue
+// order on the serial disk), so a prefix check suffices.
+func (sh *shard) drainQuorum(t *core.Thread) {
+	r := sh.repl
+	for len(sh.replWait) > 0 && sh.replWait[0].seq <= r.ackedSeq {
+		pw := sh.replWait[0]
+		sh.replWait = sh.replWait[1:]
+		if pw.reply != nil {
+			sh.s.AckedWrites++
+			pw.reply.Send(t, pw.res)
+		}
+	}
+}
+
+// replFailed condemns the shard: the replica (or the wire to it) is
+// gone, so the quorum can never again be met. Degrading to local-only
+// acks would silently weaken the durability contract mid-flight; a
+// ROADMAP follow-on adds re-replication to a fresh machine instead.
+func (sh *shard) replFailed(t *core.Thread, f replFail) {
+	if sh.repl == nil {
+		return
+	}
+	sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, f.err))
+}
+
+// replEpochSwitch streams the shard's committed region-epoch switch as
+// a control batch (no records; Seq = last assigned, all of which have
+// shipped). The replica follows the primary's superblock history and
+// treats the switch as a compaction hint of its own.
+func (sh *shard) replEpochSwitch(t *core.Thread) {
+	r := sh.repl
+	if r == nil || sh.failed != "" {
+		return
+	}
+	sh.replShipOut(t) // keep ship order = sequence order
+	sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch})
+}
+
+// --- bootstrap / catch-up sync ---
+
+// maybeStartReplSync begins streaming the compacted bootstrap image —
+// only once no compaction is in flight (locations must not move under
+// the sweep; epochDone re-calls this when a recovery-resumed compaction
+// commits).
+func (sh *shard) maybeStartReplSync(t *core.Thread) {
+	r := sh.repl
+	if r == nil || r.synced || r.sync != nil || sh.comp != nil || sh.failed != "" {
+		return
+	}
+	sh.s.ReplSyncs++
+	r.sync = &replSync{keys: sortedKeys(sh.idx), waitBlock: -1}
+	sh.scheduleReplSync(t)
+}
+
+// scheduleReplSync arms the next sync increment as a deferred
+// self-message, the compaction sweep's pacing.
+func (sh *shard) scheduleReplSync(t *core.Thread) {
+	svc, id, from := sh.s.svc, sh.id, t.Core()
+	rt := sh.s.rt
+	rt.Eng.After(sh.s.P.CompactStepCycles, func() {
+		rt.InjectSend(svc.Shard(id), kernel.Request{Op: "replsync", Key: id}, from)
+	})
+}
+
+// replSyncStep streams up to CompactBatch index entries: live records
+// with their values (from the open block, the cache, or parked on a
+// disk read like any GET miss), tombstones as DELETE records — the
+// version floor must survive on the replica too. Requests are served
+// between increments; fresh writes stream around the sync in sequence
+// order. While a compaction is in flight the sweep pauses — record
+// locations are moving under it — and epochDone resumes it where it
+// left off (the snapshot's remaining keys are looked up fresh each
+// step, so the moved locations are simply picked up; pausing rather
+// than restarting means sustained churn can delay catch-up but never
+// discard its progress).
+func (sh *shard) replSyncStep(t *core.Thread) {
+	r := sh.repl
+	if r == nil || r.sync == nil || sh.failed != "" || sh.comp != nil {
+		return
+	}
+	sy := r.sync
+	if sy.waitBlock >= 0 {
+		return
+	}
+	sh.replShipOut(t) // fresh writes captured since the last ship go first
+	var recs []ReplRecord
+	ship := func() {
+		if len(recs) == 0 {
+			return
+		}
+		sh.s.ReplSyncRecords += uint64(len(recs))
+		sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: recs})
+		recs = nil
+	}
+	done := 0
+	for done < sh.s.P.CompactBatch && sy.next < len(sy.keys) {
+		k := sy.keys[sy.next]
+		l, ok := sh.idx[k]
+		if !ok {
+			sy.next++
+			continue
+		}
+		if l.dead {
+			r.lastSeq++
+			recs = append(recs, ReplRecord{Op: recDel, Key: k, Ver: l.ver})
+			sy.next++
+			done++
+			continue
+		}
+		var data []byte
+		if l.block == sh.openBlock {
+			data = sh.open
+		} else if cached, hit := sh.cache.get(l.block); hit {
+			data = cached
+		} else {
+			// Park the sweep on the block read (ship what we have so the
+			// parked sequences are not held back); readDone resumes it.
+			ship()
+			sy.waitBlock = l.block
+			sh.parkRead(t, l.block, pendingRead{})
+			return
+		}
+		r.lastSeq++
+		recs = append(recs, ReplRecord{Op: recPut, Key: k, Val: copyBytes(data[l.off : l.off+l.vlen]), Ver: l.ver})
+		sy.next++
+		done++
+	}
+	if sy.next < len(sy.keys) {
+		ship()
+		sh.scheduleReplSync(t)
+		return
+	}
+	ship()
+	r.sync = nil
+	r.synced = true
+	r.syncEndSeq = r.lastSeq
+	sh.maybeCompact(t) // a compaction deferred behind the sync may start now
+}
+
+// --- replica-side apply ---
+
+// ApplyRepl executes one replication batch against the (replica) store,
+// blocking until every record it carries is durable on the local log.
+func (s *Store) ApplyRepl(t *core.Thread, b ReplBatch) ReplAck {
+	return s.k.Call(t, "store", b.Shard, "repl", b).(ReplAck)
+}
+
+// applyRepl is the replica shard's handler: append each record at the
+// primary's version, version-aware (a duplicate or sync/stream overlap
+// is skipped), and defer the cumulative ack until the flush covering
+// the appends completes — the ack IS the replica's durability receipt,
+// so it rides the same group commit as everything else.
+func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.Msg {
+	if sh.failed != "" {
+		return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
+	}
+	if b.Epoch > sh.primaryEpoch {
+		// The primary committed a region-epoch switch; note it and treat
+		// it as a hint that garbage is accumulating here too.
+		sh.primaryEpoch = b.Epoch
+		sh.maybeCompact(t)
+	}
+	appended := false
+	for _, rec := range b.Recs {
+		cur, ok := sh.idx[rec.Key]
+		if ok && cur.ver >= rec.Ver {
+			sh.s.ReplStale++
+			continue
+		}
+		if recHeader+len(rec.Key)+len(rec.Val)+1+blockHeader > sh.s.P.Disk.BlockSize {
+			sh.failStop(t, fmt.Sprintf("store: replica shard %d fail-stop: record for %q exceeds block size", sh.id, rec.Key))
+			return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
+		}
+		if !sh.append(t, rec.Op, rec.Key, rec.Val, rec.Ver) {
+			sh.failStop(t, fmt.Sprintf("store: replica shard %d fail-stop: log region full", sh.id))
+			return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
+		}
+		sh.applyRecord(rec.Op, rec.Key, len(rec.Val), rec.Ver)
+		sh.s.ReplApplied++
+		appended = true
+	}
+	if !appended {
+		// Nothing new: every record was a duplicate of one already
+		// applied — and, batches being applied in order by a serving
+		// thread that waits for each ack, already durable.
+		return ReplAck{Shard: sh.id, Seq: b.Seq}
+	}
+	sh.waiters = append(sh.waiters, pendingWrite{
+		reply: reply, repl: true, res: ReplAck{Shard: sh.id, Seq: b.Seq},
+	})
+	sh.armFlush(t)
+	sh.maybeCompact(t)
+	return kernel.Deferred
+}
+
+// ServeReplica pumps one replication connection on the replica
+// machine: apply each batch (blocking until its records are durable),
+// then send the cumulative ack back. A fail-stopped replica shard
+// answers with an error ack and the loop ends — the primary shard
+// fail-stops on seeing it.
+func ServeReplica(t *core.Thread, c *net.Conn, s *Store) {
+	for {
+		v, ok := c.Recv(t)
+		if !ok {
+			break
+		}
+		b, ok := v.(ReplBatch)
+		if !ok {
+			continue
+		}
+		ack := s.ApplyRepl(t, b)
+		c.Send(t, ack, ack.WireBytes())
+		if ack.Err != "" {
+			break
+		}
+	}
+	c.Close(t)
+}

@@ -317,10 +317,27 @@ type loc struct {
 }
 
 // pendingWrite is an acknowledgement waiting for its record's block
-// write to complete (group commit).
+// write to complete (group commit) — and, under replication, for the
+// replica's cumulative ack to cover seq (quorum). res is the success
+// reply: a WriteResult for client writes, a ReplAck for replica-side
+// applies (repl marks those; their acks are durability receipts to the
+// primary, not client acks).
 type pendingWrite struct {
 	reply *core.Chan
-	res   WriteResult
+	res   core.Msg
+	seq   uint64
+	repl  bool
+}
+
+// errMsg builds the failure reply matching the waiter's success type.
+func (pw pendingWrite) errMsg(err string) core.Msg {
+	if pw.repl {
+		if a, ok := pw.res.(ReplAck); ok {
+			return ReplAck{Shard: a.Shard, Seq: a.Seq, Err: err}
+		}
+		return ReplAck{Err: err}
+	}
+	return WriteResult{Err: err}
 }
 
 // pendingRead is a GET waiting for its block to come back from disk.
@@ -351,6 +368,16 @@ type shard struct {
 	// epoch is the shard's committed region epoch: appends land in
 	// region epoch&1 (epoch+1&1 while a compaction is in flight).
 	epoch uint64
+	// repl is the primary-side replication state (repl.go); nil when
+	// the store runs local-only.
+	repl *replShard
+	// replWait holds locally-durable writes (their flush completed)
+	// still waiting for the replica's cumulative ack to cover their
+	// sequence — the other half of the quorum. Sequence order.
+	replWait []pendingWrite
+	// primaryEpoch, on a replica shard, is the highest region epoch the
+	// primary has streamed (superblock switches travel with batches).
+	primaryEpoch uint64
 	// liveBytes is the log footprint of the current index contents
 	// (live records plus tombstones) — what a compaction would copy.
 	liveBytes int
@@ -377,6 +404,9 @@ type Store struct {
 	disks  []*blockdev.Disk
 	shards []*shard // per-shard private state, in shard order (stats only)
 
+	replica   *ReplicaMachine // quorum replication target (ReplicateTo)
+	recovered bool            // booted from carried-over disks
+
 	// Stats (single simulation goroutine: plain counters, like the
 	// netstack's).
 	Gets, Puts, Deletes, Scans  uint64
@@ -394,6 +424,14 @@ type Store struct {
 	CompactedBytes     uint64 // log bytes those records occupy
 	EpochWritesDurable uint64 // superblock (epoch record) writes on the platters
 	FailedShards       uint64 // shards fail-stopped after a log write error
+
+	ReplBatches     uint64 // replication batches shipped (primary side)
+	ReplRecords     uint64 // records those batches carried
+	ReplAcks        uint64 // replica acks received (primary side)
+	ReplSyncs       uint64 // bootstrap/catch-up sweeps started (primary side)
+	ReplSyncRecords uint64 // records streamed by bootstrap sweeps
+	ReplApplied     uint64 // records applied from a primary (replica side)
+	ReplStale       uint64 // replicated records skipped as duplicates (replica side)
 }
 
 // New registers the "store" service on k's kernel cores. disks carries
@@ -411,6 +449,7 @@ func New(rt *core.Runtime, k *kernel.Kernel, p Params, disks []*blockdev.Disk) *
 	s := &Store{rt: rt, k: k, P: p}
 	s.shards = make([]*shard, shards)
 	recover := disks != nil
+	s.recovered = recover
 	if recover {
 		if len(disks) != shards {
 			panic(fmt.Sprintf("store: %d disks for %d shards", len(disks), shards))
@@ -516,7 +555,9 @@ func (s *Store) Delete(t *core.Thread, key string) WriteResult {
 
 // Scan returns up to limit keys with the given prefix, sorted, merged
 // across every shard (each shard scans its private index; the caller's
-// thread merges).
+// thread merges). If any shard errors, the result is empty except for
+// Err — a scan that silently omitted a failed shard's keys would read
+// as a complete (and wrong) answer.
 func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
 	n := s.svc.Shards()
 	replies := make([]*core.Chan, n)
@@ -542,11 +583,17 @@ func (s *Store) Scan(t *core.Thread, prefix string, limit int) ScanResult {
 			all = append(all, kv{r.Keys[j], r.Vers[j]})
 		}
 	}
+	if firstErr != "" {
+		// A partial merge must not masquerade as a complete scan: every
+		// reply has been drained above, so returning only the error is
+		// safe and unambiguous.
+		return ScanResult{Err: firstErr}
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
 	if limit > 0 && len(all) > limit {
 		all = all[:limit]
 	}
-	out := ScanResult{Err: firstErr}
+	out := ScanResult{}
 	for _, e := range all {
 		out.Keys = append(out.Keys, e.key)
 		out.Vers = append(out.Vers, e.ver)
@@ -593,6 +640,16 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 			sh.epochDone(t, req.Arg.(flushDone))
 		case "recover":
 			sh.recover(t)
+		case "repl":
+			return sh.applyRepl(t, req.Arg.(ReplBatch), req.Reply)
+		case "replopen":
+			sh.replOpen(t)
+		case "replack":
+			sh.replAckIn(t, req.Arg.(ReplAck))
+		case "replfail":
+			sh.replFailed(t, req.Arg.(replFail))
+		case "replsync":
+			sh.replSyncStep(t)
 		}
 		return nil
 	}
@@ -620,14 +677,21 @@ func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
 		return GetResult{Found: true, Ver: l.ver, Val: copyBytes(data[l.off : l.off+l.vlen])}
 	}
 	sh.s.CacheMisses++
-	waiting := sh.reads[l.block]
-	sh.reads[l.block] = append(waiting, pendingRead{reply: reply, l: l})
-	if len(waiting) == 0 {
-		// First miss on this block: program the read. The completion
-		// interrupt re-enters the shard as a "readdone" message.
-		sh.programRead(t, l.block)
-	}
+	sh.parkRead(t, l.block, pendingRead{reply: reply, l: l})
 	return kernel.Deferred
+}
+
+// parkRead queues pr on block's pending-read list; the first parker
+// programs the disk read (its completion re-enters the shard as a
+// "readdone" message), later parkers ride the same read. A pendingRead
+// with a nil reply just materialises the block into the cache — the
+// compaction and bootstrap-sync sweeps park that way.
+func (sh *shard) parkRead(t *core.Thread, block int, pr pendingRead) {
+	waiting := sh.reads[block]
+	sh.reads[block] = append(waiting, pr)
+	if len(waiting) == 0 {
+		sh.programRead(t, block)
+	}
 }
 
 func (sh *shard) programRead(t *core.Thread, block int) {
@@ -668,6 +732,14 @@ func (sh *shard) readDone(t *core.Thread, d readDone) {
 		}
 		sh.compactStep(t)
 	}
+	if r := sh.repl; r != nil && r.sync != nil && r.sync.waitBlock == d.block {
+		r.sync.waitBlock = -1
+		if !d.ok {
+			sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: replication sync read: %s", sh.id, d.err))
+			return
+		}
+		sh.replSyncStep(t)
+	}
 }
 
 // write appends a PUT record to the open block and defers the ack until
@@ -688,15 +760,10 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
-	if existed {
-		sh.liveBytes -= recHeader + len(key)
-		if !old.dead {
-			sh.liveBytes -= old.vlen
-		}
-	}
-	sh.liveBytes += rec
-	sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - len(val), vlen: len(val), ver: ver}
-	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
+	sh.applyRecord(recPut, key, len(val), ver)
+	seq := sh.replCapture(recPut, key, val, ver)
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
+		res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
 	sh.armFlush(t)
 	sh.maybeCompact(t)
 	return kernel.Deferred
@@ -719,9 +786,10 @@ func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
-	sh.liveBytes -= old.vlen
-	sh.idx[key] = loc{block: sh.openBlock, ver: ver, dead: true}
-	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, res: WriteResult{OK: true, Found: true, Ver: ver}})
+	sh.applyRecord(recDel, key, 0, ver)
+	seq := sh.replCapture(recDel, key, nil, ver)
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
+		res: WriteResult{OK: true, Found: true, Ver: ver}})
 	sh.armFlush(t)
 	sh.maybeCompact(t)
 	return kernel.Deferred
@@ -747,6 +815,33 @@ func (sh *shard) scan(a scanArg) ScanResult {
 		out.Vers = append(out.Vers, sh.idx[k].ver)
 	}
 	return out
+}
+
+// applyRecord updates the index and the live-bytes accounting for a
+// record just appended at the open block's tail — the one place the
+// write path, the delete path and the replica's apply agree on what a
+// record's log footprint is. Live entries cost header+key+value,
+// tombstones header+key (their version floor is retained forever, so
+// their footprint is too).
+func (sh *shard) applyRecord(op byte, key string, vlen int, ver uint64) {
+	old, existed := sh.idx[key]
+	if op == recPut {
+		if existed {
+			sh.liveBytes -= recHeader + len(key)
+			if !old.dead {
+				sh.liveBytes -= old.vlen
+			}
+		}
+		sh.liveBytes += recHeader + len(key) + vlen
+		sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - vlen, vlen: vlen, ver: ver}
+		return
+	}
+	if existed && !old.dead {
+		sh.liveBytes -= old.vlen
+	} else if !existed {
+		sh.liveBytes += recHeader + len(key)
+	}
+	sh.idx[key] = loc{block: sh.openBlock, ver: ver, dead: true}
 }
 
 // writeEpoch is the epoch whose region appends currently land in: the
@@ -806,6 +901,7 @@ func (sh *shard) armFlush(t *core.Thread) {
 // time: its contents enter the cache when (and only when) this write
 // completes.
 func (sh *shard) flush(t *core.Thread, sealed bool) {
+	sh.replShipOut(t) // the records riding this flush ship to the replica now
 	batch := sh.waiters
 	sh.waiters = nil
 	sh.dirty = 0
@@ -840,7 +936,7 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	if !d.ok {
 		for _, pw := range d.batch {
 			if pw.reply != nil {
-				pw.reply.Send(t, WriteResult{Err: d.err})
+				pw.reply.Send(t, pw.errMsg(d.err))
 			}
 		}
 		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: log write: %s", sh.id, d.err))
@@ -852,7 +948,7 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 		// sort out the truth from the log.
 		for _, pw := range d.batch {
 			if pw.reply != nil {
-				pw.reply.Send(t, WriteResult{Err: sh.failed})
+				pw.reply.Send(t, pw.errMsg(sh.failed))
 			}
 		}
 		return
@@ -860,10 +956,24 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	if d.sealed {
 		sh.cache.put(d.block, d.data)
 	}
-	for _, pw := range d.batch {
-		if pw.reply != nil {
-			sh.s.AckedWrites++
-			pw.reply.Send(t, pw.res)
+	if sh.repl != nil {
+		// Quorum mode: local durability is half the vote. Park the acks
+		// (in sequence order — flushes complete in issue order) until
+		// the replica's cumulative ack covers them.
+		for _, pw := range d.batch {
+			if pw.reply != nil {
+				sh.replWait = append(sh.replWait, pw)
+			}
+		}
+		sh.drainQuorum(t)
+	} else {
+		for _, pw := range d.batch {
+			if pw.reply != nil {
+				if !pw.repl {
+					sh.s.AckedWrites++
+				}
+				pw.reply.Send(t, pw.res)
+			}
 		}
 	}
 	sh.maybeCommitEpoch(t)
@@ -871,8 +981,10 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 
 // failStop condemns the shard: every parked waiter is nacked and every
 // subsequent request refused. Deterministic nack order (writers in
-// arrival order, then parked reads by block number) keeps seeded replay
-// exact.
+// arrival order, then quorum-parked writes in sequence order, then
+// parked reads by block number) keeps seeded replay exact. No pending
+// reply channel may be dropped — a client blocked on a deferred ack
+// must get an error, never a hang (TestFailStopDrainsBlockedClients).
 func (sh *shard) failStop(t *core.Thread, err string) {
 	if sh.failed != "" {
 		return
@@ -880,12 +992,23 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 	sh.failed = err
 	sh.s.FailedShards++
 	sh.comp = nil
+	if r := sh.repl; r != nil {
+		r.sync = nil
+		r.out = nil
+		r.queued = nil
+	}
 	for _, pw := range sh.waiters {
 		if pw.reply != nil {
-			pw.reply.Send(t, WriteResult{Err: err})
+			pw.reply.Send(t, pw.errMsg(err))
 		}
 	}
 	sh.waiters = nil
+	for _, pw := range sh.replWait {
+		if pw.reply != nil {
+			pw.reply.Send(t, pw.errMsg(err))
+		}
+	}
+	sh.replWait = nil
 	blocks := make([]int, 0, len(sh.reads))
 	for b := range sh.reads {
 		blocks = append(blocks, b)
@@ -996,6 +1119,10 @@ func (sh *shard) recover(t *core.Thread) {
 		sh.openBlock, sh.open = sh.s.regionStart(sh.epoch), nil
 	}
 	sh.maybeCompact(t)
+	// A replicated store recovered from disks bootstraps the replica
+	// with a compacted image of what replay found (once any compaction
+	// that just started above commits, epochDone re-attempts this).
+	sh.maybeStartReplSync(t)
 }
 
 func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }

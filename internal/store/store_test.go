@@ -223,6 +223,90 @@ func TestWireKVOverNetstack(t *testing.T) {
 	}
 }
 
+// TestWireDuplicatePutAppliesOnce pins end-to-end idempotence at the
+// wire layer: a lossy wire forces retransmissions of KVRequest PUTs
+// (data packets whose acks were dropped arrive at the server twice),
+// and the netstack's per-connection sequence/reassembly state must shed
+// the duplicates so the store applies each PUT exactly once — the key's
+// version bumps once per client-issued PUT, never per delivery.
+func TestWireDuplicatePutAppliesOnce(t *testing.T) {
+	const seed = 97
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.DefaultParams(16))
+	rt := core.NewRuntime(m, core.Config{Seed: seed})
+	defer rt.Shutdown()
+	k := kernel.New(rt, kernel.Config{})
+	nic := machine.NewNIC(m, machine.NICParams{})
+	wp := net.DefaultWireParams()
+	wp.Seed = seed
+	wp.LossProb = 0.3 // heavy seeded loss: retransmissions are certain
+	nw := net.NewNetwork(eng, nic, wp)
+	st := net.NewStack(rt, k, nic, net.StackParams{})
+	kv := New(rt, k, Params{Shards: 2, FlushCycles: 20_000, LogBlocks: 64}, nil)
+
+	l := st.Listen(6379)
+	rt.Boot("accept", func(at *core.Thread) {
+		for {
+			c, ok := l.Accept(at)
+			if !ok {
+				return
+			}
+			at.Spawn(fmt.Sprintf("kv.%d", c.ID()), func(ht *core.Thread) {
+				ServeConn(ht, c, kv)
+			})
+		}
+	})
+
+	const puts = 5
+	var resps []KVResponse
+	sent := 0
+	send := func(ep *net.Endpoint) {
+		req := KVRequest{Op: WPut, Seq: uint32(sent), Key: "dup", Val: []byte(fmt.Sprintf("v%d", sent))}
+		sent++
+		ep.Send(req, req.WireBytes())
+	}
+	nw.Dial(6379, net.EndpointHooks{
+		OnOpen: send,
+		OnMessage: func(ep *net.Endpoint, payload core.Msg, _ int) {
+			resps = append(resps, payload.(KVResponse))
+			if sent < puts {
+				send(ep)
+			} else {
+				ep.Close()
+			}
+		},
+		OnFail: func(*net.Endpoint) { t.Error("client gave up on the lossy wire") },
+	})
+	rt.Run()
+
+	if st.Retransmits+nw.Retransmits == 0 {
+		t.Fatal("no retransmissions happened — the duplicate path was not exercised")
+	}
+	if len(resps) != puts {
+		t.Fatalf("got %d responses, want %d: %+v", len(resps), puts, resps)
+	}
+	for i, r := range resps {
+		if !r.OK || r.Ver != uint64(i+1) {
+			t.Fatalf("response %d = %+v, want OK ver %d (a duplicate double-applied?)", i, r, i+1)
+		}
+	}
+	if kv.Puts != puts {
+		t.Fatalf("store saw %d PUTs for %d client PUTs: duplicates crossed the netstack", kv.Puts, puts)
+	}
+	// End-to-end: the key's version advanced exactly once per PUT.
+	done := false
+	rt.Boot("check", func(th *core.Thread) {
+		if g := kv.Get(th, "dup"); !g.Found || g.Ver != puts || string(g.Val) != fmt.Sprintf("v%d", puts-1) {
+			t.Errorf("final state = %+v, want ver %d val %q", g, puts, fmt.Sprintf("v%d", puts-1))
+		}
+		done = true
+	})
+	rt.Run()
+	if !done {
+		t.Fatal("final check never ran")
+	}
+}
+
 // TestScanMergesAcrossShards: keys hash across all shards; a prefix
 // scan must return the union, sorted, truncated to the limit.
 func TestScanMergesAcrossShards(t *testing.T) {

@@ -79,6 +79,35 @@ if [ "$short" = "0" ]; then
         echo "verify: BENCH_E15.json has no rows" >&2
         exit 1
     }
+
+    echo "== E16 replication smoke (quick, -json)"
+    out=$(go run ./cmd/chanos-bench -run E16 -quick -json)
+    echo "$out"
+    echo "$out" | grep -q "E16 / replication cost" || {
+        echo "verify: E16 table missing" >&2
+        exit 1
+    }
+    # The survival table is the machine-loss durability gate: every
+    # seeded primary-kill row must have tracked acked PUTs and a "lost"
+    # column of exactly 0.
+    kills=$(echo "$out" | sed -n '/E16b \/ acked-write survival/,/^$/p')
+    [ -n "$kills" ] || {
+        echo "verify: E16b survival table missing" >&2
+        exit 1
+    }
+    if ! echo "$kills" | awk '/^[0-9]/{ rows++; if ($3+0 == 0) bad=1; if ($6 != "0") bad=1 }
+        END { exit !(rows > 0 && !bad) }'; then
+        echo "verify: a seeded primary kill lost acked writes (or tracked none)" >&2
+        exit 1
+    fi
+    test -s BENCH_E16.json || {
+        echo "verify: BENCH_E16.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"rows"' BENCH_E16.json || {
+        echo "verify: BENCH_E16.json has no rows" >&2
+        exit 1
+    }
 fi
 
 echo "verify: OK"
