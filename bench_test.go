@@ -61,6 +61,10 @@ func BenchmarkStore(b *testing.B) { benchExperiment(b, "E15") }
 // the full E16 experiment (local vs quorum cost, seeded primary kills).
 func BenchmarkStoreReplication(b *testing.B) { benchExperiment(b, "E16") }
 
+// BenchmarkStoreHeal is the replication-lifecycle benchmark: the full
+// E17 experiment (kill/failover/re-attach/heal cycles, replica reads).
+func BenchmarkStoreHeal(b *testing.B) { benchExperiment(b, "E17") }
+
 // Ablations (design-choice knobs called out in DESIGN.md).
 
 func BenchmarkA1MsgCostSensitivity(b *testing.B)  { benchExperiment(b, "A1") }

@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list experiments")
-		runID   = flag.String("run", "", "run one experiment by id (E1..E15, A1..A4)")
+		runID   = flag.String("run", "", "run one experiment by id (E1..E17, A1..A4)")
 		all     = flag.Bool("all", false, "run every experiment")
 		quick   = flag.Bool("quick", false, "reduced sweeps and windows")
 		seed    = flag.Uint64("seed", 42, "simulation seed")

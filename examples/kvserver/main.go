@@ -33,8 +33,13 @@ func main() {
 		loss      = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
 		logBlocks = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
 		replicas  = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
+		replReads = flag.Bool("replica-reads", false, "with -replicas 1: serve a second GET-only fleet from the replica's bounded-staleness read port")
 	)
 	flag.Parse()
+	if *replReads && *replicas == 0 {
+		fmt.Println("kvserver: -replica-reads needs -replicas 1; ignoring")
+		*replReads = false
+	}
 
 	sys := chanos.New(*cores, chanos.Config{Seed: *seed})
 	defer sys.Shutdown()
@@ -53,19 +58,26 @@ func main() {
 		}
 		rwp := net.DefaultWireParams()
 		rwp.Seed = *seed + 1
+		readPort := 0
+		if *replReads {
+			readPort = 6390
+		}
 		rm = store.NewReplicaMachine(sys.Eng, store.ReplicaMachineParams{
-			Cores: *cores, Seed: *seed + 2,
+			Cores: *cores, Seed: *seed + 2, ReadPort: readPort,
 			Store: store.Params{Shards: kv.Shards(), LogBlocks: *logBlocks},
 			Wire:  rwp,
 		}, nil)
 		defer rm.Shutdown()
-		kv.ReplicateTo(rm)
+		kv.AttachReplica(rm)
 	}
 	l := st.Listen(6379)
 
 	mode := "local-only durability"
 	if rm != nil {
 		mode = "quorum replication to a second machine"
+		if *replReads {
+			mode += " + bounded-staleness replica reads"
+		}
 	}
 	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d, %s\n",
 		*cores, kv.Shards(), st.Shards(), *clients, *keys, *readPct, *seed, mode)
@@ -96,6 +108,32 @@ func main() {
 		sys.RunFor(sys.Cycles(0.0005))
 	}
 	prefillMs := sys.Seconds(sys.Now()) * 1e3
+
+	// With -replica-reads, a second GET-only fleet reads the same
+	// keyspace from the replica machine's bounded-staleness port while
+	// the primary fleet runs the mixed workload.
+	var rPool *net.ClientPool
+	var rGets, rRefused uint64
+	if *replReads {
+		rwl := store.NewWorkload(*seed+5, *clients, *keys, 100, 256)
+		rPool = net.NewClientPool(rm.NW, net.ClientParams{
+			Port:        6390,
+			Clients:     *clients,
+			ReqsPerConn: 8,
+			ThinkCycles: 2000,
+			Seed:        *seed + 5,
+			MakeReq:     rwl.MakeReq,
+			OnResp: func(client, req int, payload core.Msg) {
+				if resp, ok := payload.(store.KVResponse); ok {
+					if resp.OK {
+						rGets++
+					} else {
+						rRefused++
+					}
+				}
+			},
+		})
+	}
 
 	var notFound, errs uint64
 	pool := net.NewClientPool(nw, net.ClientParams{
@@ -160,12 +198,24 @@ func main() {
 		kv.CompactionsDone, kv.CompactedRecords, kv.LogFull, kv.LiveRatio())
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
 		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.RxDrops)
-	if rm != nil {
+	// The lifecycle state prints unconditionally: "solo" (never
+	// replicated) and "failed-over"/"syncing" (degraded) are different
+	// operational situations, and a 0/0 replication line used to make
+	// them indistinguishable.
+	if rm == nil {
+		fmt.Printf("  replication  state=%s (no replica attached; acks are local-flush only)\n", kv.Lifecycle())
+	} else {
 		var rWrites uint64
 		for _, d := range rm.KV.Disks() {
 			rWrites += d.Writes
 		}
-		fmt.Printf("  replication  %8d batches (%d records) shipped, %d acks; replica applied %d (%d stale), %d disk writes\n",
-			kv.ReplBatches, kv.ReplRecords, kv.ReplAcks, rm.KV.ReplApplied, rm.KV.ReplStale, rWrites)
+		fmt.Printf("  replication  state=%s; %d batches (%d records) shipped, %d acks, %d adverts; %d shard heals, %d detaches\n",
+			kv.Lifecycle(), kv.ReplBatches, kv.ReplRecords, kv.ReplAcks, kv.ReplAdverts, kv.ReplHeals, kv.ReplDetached)
+		fmt.Printf("  replica      %8d applied (%d stale), %d disk writes\n",
+			rm.KV.ReplApplied, rm.KV.ReplStale, rWrites)
+		if rPool != nil {
+			fmt.Printf("  repl reads   %8d GETs served over %d conns (%d refused: lag/sync), %d lag-refused, %d durability waits, p99 %.1f us\n",
+				rGets, rPool.Completed, rRefused, rm.KV.ReplicaLagged, rm.KV.ReplicaWaits, us(rPool.Lat.Percentile(99)))
+		}
 	}
 }

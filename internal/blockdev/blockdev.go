@@ -4,6 +4,16 @@
 // messages and waits for interrupts, with "no need for further
 // synchronization" (§4). A lock-based multithreaded driver and a buggy
 // lockless one are provided as the foil for experiment E8.
+//
+// The message-passing discipline is the whole interface: Program hands
+// the driver one request message, the completion callback is the
+// interrupt, and completions are strictly serial FIFO — which is what
+// lets a client treat "N completions seen" as a durability horizon.
+// Sharded services shard their storage too: the store gives every
+// shard its own Disk (a disk-array stripe), so device queues never
+// couple independent shards. Regions, Trim, injected write failures
+// and power-cut snapshots (SnapshotData/NewDiskFrom) are the substrate
+// for log compaction, replication and every crash-recovery test.
 package blockdev
 
 import (

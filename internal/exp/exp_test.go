@@ -300,11 +300,58 @@ func TestE16QuorumCostsLatencyButLosesNothing(t *testing.T) {
 	}
 }
 
+// --- E17: quorum healing and replica reads ---
+
+// TestE17HealCyclesLoseNothing: every kill -> failover -> re-attach
+// cycle must end back at quorum having lost zero acked writes, with the
+// runtime re-attach cycles actually streaming a bootstrap image; and
+// routing GETs to the replica must lift GET throughput — the replica's
+// index is capacity, not just insurance.
+func TestE17HealCyclesLoseNothing(t *testing.T) {
+	cycles := e17HealCycles(q, 3, sim.Time(3_000_000))
+	if len(cycles) != 3 {
+		t.Fatalf("ran %d cycles, want 3", len(cycles))
+	}
+	runtimeAttaches := 0
+	for i, cy := range cycles {
+		if !cy.quorum {
+			t.Errorf("cycle %d never healed back to quorum", i+1)
+		}
+		if cy.lost != 0 {
+			t.Errorf("cycle %d lost %d acked writes (of %d tracked)", i+1, cy.lost, cy.tracked)
+		}
+		if cy.ackedPuts == 0 || cy.tracked == 0 {
+			t.Errorf("cycle %d tracked no acked PUTs: %+v", i+1, cy)
+		}
+		if cy.attach == "runtime" {
+			runtimeAttaches++
+			if cy.syncRecords == 0 {
+				t.Errorf("runtime re-attach cycle %d streamed no bootstrap image", i+1)
+			}
+			if cy.heals == 0 {
+				t.Errorf("runtime re-attach cycle %d healed no shards", i+1)
+			}
+		}
+	}
+	if runtimeAttaches < 2 {
+		t.Fatalf("only %d runtime re-attach cycles ran, want >= 2", runtimeAttaches)
+	}
+	base := e17Reads(q, 64, sim.Time(4_000_000), false)
+	repl := e17Reads(q, 64, sim.Time(4_000_000), true)
+	if base.getsPerSec == 0 {
+		t.Fatal("primary-only mode served no GETs")
+	}
+	if repl.getsPerSec < base.getsPerSec*1.5 {
+		t.Fatalf("replica reads lifted GETs/sec only %.0f -> %.0f (< 1.5x)",
+			base.getsPerSec, repl.getsPerSec)
+	}
+}
+
 // --- registry and full-suite smoke ---
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
-		"E14", "E15", "E16", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E14", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -5,9 +5,15 @@
 // common interface ... is done in this environment by sending to a
 // channel".
 //
-// Services are sharded: a service registers N handler threads, and
-// requests are routed to a shard by key, so independent objects never
-// serialise behind each other — this is where the scaling comes from.
+// Services are sharded: a service registers N handler threads
+// (RegisterEach), and requests are routed to a shard by key, so
+// independent objects never serialise behind each other — this is
+// where the scaling comes from. A shard owns its state outright; the
+// discipline that keeps it lock-free is that EVERYTHING re-enters as a
+// message on the shard's channel: a handler that must wait (for a disk
+// interrupt, a timer, a remote ack) returns Deferred and answers later
+// when the completion arrives as an ordinary request, rather than
+// blocking its thread or sharing state with the completion path.
 package kernel
 
 import (

@@ -14,6 +14,13 @@
 // jitter and loss; the stack recovers ordering with per-connection
 // sequence numbers and reassembly, and recovers loss with cumulative
 // acks plus timeout retransmission.
+//
+// The message-passing discipline is total: a packet arrival is a
+// message into the owning shard, a timer is a deferred self-message
+// ("rto"), and nothing a shard owns is touched from outside it. The
+// same wire carries inter-machine traffic — the store's replication
+// stream dials an Endpoint like any client — so machines compose into
+// clusters with no new primitives.
 package net
 
 import "chanos/internal/core"

@@ -266,6 +266,9 @@ func (sh *shard) epochDone(t *core.Thread, d flushDone) {
 	sh.s.CompactionsDone++
 	sh.cache.dropRange(retired.Start, retired.End())
 	sh.disk.Trim(retired.Start, retired.Blocks)
+	// Replica reads parked on locs in the retired region re-resolve
+	// against the compacted index before those blocks disappear.
+	sh.requeueReplReads(t)
 	// The committed superblock switch travels to the replica too, and a
 	// bootstrap sync paused behind this compaction resumes (or, deferred
 	// behind a recovery-resumed compaction, starts) now.

@@ -1,0 +1,183 @@
+// The replication lifecycle: replication as a runtime state machine
+// rather than a boot-time configuration. A store moves through
+//
+//	SOLO ──attach──▶ SYNCING ──image acked──▶ QUORUM
+//	                    ▲                        │
+//	                    │ attach        primary lost: boot
+//	                    │                from replica platters
+//	               FAILED-OVER ◀─────────────────┘
+//
+// and the loop closes: a failed-over (or plain solo) store attaches a
+// *fresh* replica machine while it is live and serving — the bootstrap
+// sweep ships a compacted image per shard (repl.go), write acks upgrade
+// from local-flush to two-machine quorum the moment the image is
+// complete, and once the replica's cumulative ack covers the image
+// (ReplCaughtUp) the fail-stop-on-replica-loss rule re-arms. The system
+// returns to full durability instead of serving degraded forever.
+//
+// The states earn their names from the contracts they serve under:
+//
+//   - SOLO / FAILED-OVER: no replica. Writes ack at local flush; a
+//     machine loss loses the store (failed-over additionally means the
+//     state was inherited from a dead primary's replica).
+//   - SYNCING: a replica is attached but its image is incomplete. Write
+//     acks stay local-flush (the attach must not stall the shard behind
+//     a catch-up), and a replica loss DETACHES — no client has yet been
+//     promised two-machine durability, so reverting to the pre-attach
+//     contract breaks no promise. Every write is still captured and
+//     sequenced, so the image completes exactly once.
+//   - QUORUM: the image is complete and acknowledged. Write acks wait
+//     for both machines; a replica loss fail-stops the shard (degrading
+//     silently would weaken the contract mid-flight). Killing the
+//     primary at any instant from the flip onward loses nothing acked —
+//     including every write acked while the image was still streaming,
+//     whose sequences the image-completing ack covers by construction.
+//
+// Each shard walks the machine independently (its attachment, sync
+// sweep and acks are private, like everything else about a shard);
+// Store.Lifecycle reports the aggregate.
+package store
+
+import (
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/kernel"
+)
+
+// Lifecycle states, as reported by Store.Lifecycle.
+const (
+	LifecycleSolo       = "solo"        // fresh boot, no replica: local-flush acks
+	LifecycleFailedOver = "failed-over" // recovered from carried-over platters, no replica: degraded
+	LifecycleSyncing    = "syncing"     // replica attached, bootstrap image incomplete on some shard
+	LifecycleQuorum     = "quorum"      // every shard at two-machine quorum, fail-stop re-armed
+	LifecycleFailed     = "failed"      // at least one shard fail-stopped
+)
+
+// Lifecycle reports the store's replication lifecycle state: the
+// aggregate of the per-shard state machines. Any fail-stopped shard
+// dominates; otherwise the store is at quorum only when every shard is
+// (a shard that detached mid-sync leaves the store reported as syncing
+// — not at quorum — until a fresh attach heals it). Call from the
+// simulation host between run slices, like the stats counters.
+func (s *Store) Lifecycle() string {
+	attached, quorum := 0, 0
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		if sh.failed != "" {
+			return LifecycleFailed
+		}
+		if sh.repl != nil {
+			attached++
+			if sh.repl.quorum {
+				quorum++
+			}
+		}
+	}
+	n := len(s.shards)
+	switch {
+	case attached == 0:
+		if s.recovered {
+			return LifecycleFailedOver
+		}
+		return LifecycleSolo
+	case quorum == n && attached == n:
+		return LifecycleQuorum
+	default:
+		return LifecycleSyncing
+	}
+}
+
+// AttachReplica attaches quorum replication to a LIVE store — the
+// ATTACH control path. Every shard dials a connection to rm's
+// replication port and adopts the attachment as an ordinary message
+// ("replattach", FIFO behind whatever the shard is doing, including a
+// recovery replay): a shard that owns state starts the bootstrap sweep,
+// an empty shard is synced by definition and goes straight to quorum.
+// From the moment a shard's image is complete, its write acks wait for
+// the two-machine quorum; ReplCaughtUp reports the whole store healed.
+//
+// Call alongside New for a replicated-from-birth store, or at any later
+// point (between run slices, like the stats) to heal a solo or
+// failed-over store. Panics if a replica is already attached or the
+// shard counts differ — primary shard i streams to replica shard i,
+// which the shared key hash guarantees once the counts match.
+func (s *Store) AttachReplica(rm *ReplicaMachine) {
+	if rm.KV.Shards() != s.Shards() {
+		panic(fmt.Sprintf("store: replica has %d shards, primary %d — counts must match",
+			rm.KV.Shards(), s.Shards()))
+	}
+	// s.replica is the attachment guard: set here, synchronously, and
+	// cleared only when the LAST shard detaches (replLost) — so two
+	// back-to-back attaches cannot both slip past while the per-shard
+	// "replattach" messages are still in flight.
+	if s.replica != nil {
+		panic("store: a replica is already attached (one attachment at a time)")
+	}
+	s.replica = rm
+	s.ReplAttaches++
+	for i := range s.shards {
+		r := s.dialReplica(rm, i)
+		s.rt.InjectSend(s.svc.Shard(i), kernel.Request{Op: "replattach", Key: i, Arg: replAttach{r: r}}, 0)
+	}
+}
+
+// replAttachIn adopts an attachment on the shard's handler thread. The
+// dial raced ahead on the wire; the handshake-complete and ack messages
+// carry the attachment identity, so they land correctly whether they
+// arrive before or after this does.
+func (sh *shard) replAttachIn(t *core.Thread, m replAttach) {
+	if sh.failed != "" || sh.repl != nil {
+		return
+	}
+	sh.repl = m.r
+	if len(sh.idx) == 0 {
+		// Nothing to bootstrap: the image is (vacuously) complete and
+		// acknowledged, so the attachment starts at quorum — every write
+		// from the first onward acks on both machines.
+		m.r.synced = true
+		m.r.quorum = true
+		return
+	}
+	// The shard owns state: stream a compacted image first. If a
+	// compaction is in flight the sweep starts at its epoch commit
+	// (epochDone calls maybeStartReplSync).
+	sh.maybeStartReplSync(t)
+}
+
+// replLost is the replica-loss rule, the lifecycle's one asymmetric
+// edge: at quorum the shard fail-stops (clients hold two-machine acks
+// that a silent downgrade would betray), before quorum it detaches and
+// keeps serving under the contract it never left. Writes parked for the
+// quorum ack of an image that will now never complete release with
+// their local ack — they are locally durable, which is all the SYNCING
+// state ever promised.
+func (sh *shard) replLost(t *core.Thread, err string) {
+	r := sh.repl
+	if r == nil {
+		return
+	}
+	if r.quorum {
+		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, err))
+		return
+	}
+	sh.repl = nil
+	sh.s.ReplDetached++
+	for _, pw := range sh.replWait {
+		if pw.reply != nil {
+			sh.s.AckedWrites++
+			pw.reply.Send(t, pw.res)
+		}
+	}
+	sh.replWait = nil
+	// Last shard out drops the store-level attachment: Replicated()
+	// turns false and a fresh AttachReplica may heal the store.
+	for _, o := range sh.s.shards {
+		if o != nil && o.repl != nil {
+			return
+		}
+	}
+	sh.s.replica = nil
+}

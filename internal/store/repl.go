@@ -60,16 +60,25 @@ type ReplRecord struct {
 // completion is tracked: the primary remembers the sequence its image
 // completed at (syncEndSeq) and compares the cumulative ack against it,
 // so the batch needs no sync markers of its own.
+//
+// Tail and Image are the lag advertisement for replica reads: Tail is
+// the primary's last ASSIGNED sequence at ship time (>= Seq whenever
+// records have been captured but not yet flushed), and Image reports
+// that the shard's bootstrap image is complete up to Seq — a replica
+// must not serve reads from a partial image, and bounds its staleness
+// by primTail − applied (see replica_read.go and DESIGN.md).
 type ReplBatch struct {
 	Shard int
 	Seq   uint64
+	Tail  uint64
+	Image bool
 	Epoch uint64
 	Recs  []ReplRecord
 }
 
 // MsgBytes implements core.Sized.
 func (b ReplBatch) MsgBytes() int {
-	n := 40
+	n := 49 // shard + seq + tail + image + epoch
 	for _, r := range b.Recs {
 		n += 17 + len(r.Key) + len(r.Val)
 	}
@@ -96,12 +105,49 @@ func (a ReplAck) MsgBytes() int { return 24 + len(a.Err) }
 // WireBytes is the ack's simulated wire size.
 func (a ReplAck) WireBytes() int { return a.MsgBytes() }
 
-// replFail is the shard-handler argument for a dead replication
-// connection (endpoint gave up or the replica closed on us).
-type replFail struct{ err string }
+// The wire hooks re-enter the shard as messages, each carrying the
+// attachment (*replShard) it belongs to: a shard that detached from a
+// failed attachment and re-attached to a fresh replica must ignore
+// stale events from the old endpoint — a late OnFail from a connection
+// the shard already abandoned must not condemn the new quorum.
+
+// replAttach asks a shard to adopt a prepared attachment (the ATTACH
+// control path; see lifecycle.go).
+type replAttach struct{ r *replShard }
 
 // MsgBytes implements core.Sized.
-func (f replFail) MsgBytes() int { return 16 + len(f.err) }
+func (a replAttach) MsgBytes() int { return 8 }
+
+// replOpenMsg reports the attachment's connection handshake complete.
+type replOpenMsg struct{ r *replShard }
+
+// MsgBytes implements core.Sized.
+func (m replOpenMsg) MsgBytes() int { return 8 }
+
+// replAckMsg carries a replica durability receipt into the shard.
+type replAckMsg struct {
+	r *replShard
+	a ReplAck
+}
+
+// MsgBytes implements core.Sized.
+func (m replAckMsg) MsgBytes() int { return 8 + m.a.MsgBytes() }
+
+// replFailMsg reports a dead replication connection (endpoint gave up
+// or the replica closed on us).
+type replFailMsg struct {
+	r   *replShard
+	err string
+}
+
+// MsgBytes implements core.Sized.
+func (m replFailMsg) MsgBytes() int { return 24 + len(m.err) }
+
+// replAdvertMsg is the deferred tail-advertisement timer firing.
+type replAdvertMsg struct{ r *replShard }
+
+// MsgBytes implements core.Sized.
+func (m replAdvertMsg) MsgBytes() int { return 8 }
 
 // replTxCycles is the primary-side descriptor/DMA cost charged per
 // shipped batch (the shard programs its NIC like the netstack does);
@@ -117,12 +163,22 @@ type replShard struct {
 	queued []ReplBatch // ships deferred until the connection opens
 
 	lastSeq  uint64       // last replication sequence assigned
+	lastShip uint64       // last sequence put on the wire (advert floor)
 	ackedSeq uint64       // cumulative replica-durable sequence
 	out      []ReplRecord // records captured since the last ship
 
 	sync       *replSync // in-flight bootstrap sweep, nil when idle
 	synced     bool      // the replica holds a complete image
 	syncEndSeq uint64    // sequence the bootstrap image completed at
+
+	// quorum marks the attachment caught up (synced AND the cumulative
+	// ack covers syncEndSeq): from this point every write ack waits for
+	// the two-machine quorum and the fail-stop-on-replica-loss rule is
+	// armed. Before it, the shard serves under its pre-attach contract
+	// (local-flush acks) and a replica loss merely detaches.
+	quorum bool
+
+	advertArmed bool // a deferred "repladvert" self-message is in flight
 }
 
 // replSync is one in-flight bootstrap/catch-up sweep: a sorted
@@ -145,6 +201,11 @@ type ReplicaMachineParams struct {
 	// Port the replica listens on for replication connections.
 	// Default 6380.
 	Port int
+	// ReadPort, if non-zero, serves bounded-staleness replica reads on
+	// this port (ServeReplicaReads): GETs only, refused while the
+	// bootstrap image is incomplete or the advertised lag exceeds
+	// Store.ReplicaLagBound.
+	ReadPort int
 	// Store is the replica store's parameters. Shards must equal the
 	// primary's shard count (ReplicateTo enforces it): primary shard i
 	// streams to replica shard i, which the shared key hash guarantees
@@ -161,14 +222,15 @@ type ReplicaMachineParams struct {
 // the same simulation engine as the primary. Replication traffic costs
 // replica cycles exactly like client traffic costs primary cycles.
 type ReplicaMachine struct {
-	M    *machine.Machine
-	RT   *core.Runtime
-	K    *kernel.Kernel
-	NIC  *machine.NIC
-	NW   *net.Network
-	Stk  *net.Stack
-	KV   *Store
-	Port int
+	M        *machine.Machine
+	RT       *core.Runtime
+	K        *kernel.Kernel
+	NIC      *machine.NIC
+	NW       *net.Network
+	Stk      *net.Stack
+	KV       *Store
+	Port     int
+	ReadPort int // 0 = replica reads not served
 }
 
 // NewReplicaMachine boots the replica machine on eng and starts its
@@ -189,8 +251,9 @@ func NewReplicaMachine(eng *sim.Engine, p ReplicaMachineParams, disks []*blockde
 	nw := net.NewNetwork(eng, nic, p.Wire)
 	stk := net.NewStack(rt, k, nic, net.StackParams{})
 	kv := New(rt, k, p.Store, disks)
+	kv.replicaRole = true
 	l := stk.Listen(p.Port)
-	rm := &ReplicaMachine{M: m, RT: rt, K: k, NIC: nic, NW: nw, Stk: stk, KV: kv, Port: p.Port}
+	rm := &ReplicaMachine{M: m, RT: rt, K: k, NIC: nic, NW: nw, Stk: stk, KV: kv, Port: p.Port, ReadPort: p.ReadPort}
 	rt.Boot("repl.accept", func(t *core.Thread) {
 		for {
 			c, ok := l.Accept(t)
@@ -202,65 +265,74 @@ func NewReplicaMachine(eng *sim.Engine, p ReplicaMachineParams, disks []*blockde
 			})
 		}
 	})
+	if p.ReadPort != 0 {
+		rl := stk.Listen(p.ReadPort)
+		rt.Boot("replread.accept", func(t *core.Thread) {
+			for {
+				c, ok := rl.Accept(t)
+				if !ok {
+					return
+				}
+				t.Spawn(fmt.Sprintf("replread.%d", c.ID()), func(ht *core.Thread) {
+					ServeReplicaReads(ht, c, kv)
+				})
+			}
+		})
+	}
 	return rm
 }
 
 // Shutdown tears the replica machine down.
 func (rm *ReplicaMachine) Shutdown() { rm.RT.Shutdown() }
 
-// ReplicateTo attaches quorum replication: every primary shard dials a
-// connection to rm's replication port and, from then on, no write is
-// acknowledged until both the local flush and the replica's append ack
-// are durable. Attach before the simulation runs (alongside New); a
-// store recovered from disks bootstraps each shard by streaming a
-// freshly compacted image of its index (see replSyncStep).
-func (s *Store) ReplicateTo(rm *ReplicaMachine) {
-	if rm.KV.Shards() != s.Shards() {
-		panic(fmt.Sprintf("store: replica has %d shards, primary %d — counts must match",
-			rm.KV.Shards(), s.Shards()))
-	}
-	s.replica = rm
-	for i, sh := range s.shards {
-		r := &replShard{}
-		if !s.recovered {
-			r.synced = true // both sides boot empty: nothing to bootstrap
-		}
-		sh.repl = r
-		i, svc, rt := i, s.svc, s.rt
-		r.ep = rm.NW.Dial(rm.Port, net.EndpointHooks{
-			OnOpen: func(*net.Endpoint) {
-				rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replopen", Key: i}, 0)
-			},
-			OnMessage: func(_ *net.Endpoint, payload core.Msg, _ int) {
-				if a, ok := payload.(ReplAck); ok {
-					rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replack", Key: i, Arg: a}, 0)
-				}
-			},
-			OnClose: func(*net.Endpoint) {
-				rt.InjectSend(svc.Shard(i), kernel.Request{
-					Op: "replfail", Key: i, Arg: replFail{err: "store: replication connection closed"},
-				}, 0)
-			},
-			OnFail: func(*net.Endpoint) {
-				rt.InjectSend(svc.Shard(i), kernel.Request{
-					Op: "replfail", Key: i, Arg: replFail{err: "store: replication connection failed (retries exhausted)"},
-				}, 0)
-			},
-		})
-	}
+// ReplicateTo attaches quorum replication; it is AttachReplica under
+// its original name (PR 4 allowed attaching only alongside New; the
+// lifecycle work generalised it to any moment — see lifecycle.go).
+func (s *Store) ReplicateTo(rm *ReplicaMachine) { s.AttachReplica(rm) }
+
+// dialReplica builds one shard's attachment: the endpoint to rm's
+// replication port, with hooks that re-enter the shard as messages
+// carrying the attachment identity (a stale hook from an abandoned
+// attachment is ignored by the handlers).
+func (s *Store) dialReplica(rm *ReplicaMachine, i int) *replShard {
+	r := &replShard{}
+	svc, rt := s.svc, s.rt
+	r.ep = rm.NW.Dial(rm.Port, net.EndpointHooks{
+		OnOpen: func(*net.Endpoint) {
+			rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replopen", Key: i, Arg: replOpenMsg{r: r}}, 0)
+		},
+		OnMessage: func(_ *net.Endpoint, payload core.Msg, _ int) {
+			if a, ok := payload.(ReplAck); ok {
+				rt.InjectSend(svc.Shard(i), kernel.Request{Op: "replack", Key: i, Arg: replAckMsg{r: r, a: a}}, 0)
+			}
+		},
+		OnClose: func(*net.Endpoint) {
+			rt.InjectSend(svc.Shard(i), kernel.Request{
+				Op: "replfail", Key: i, Arg: replFailMsg{r: r, err: "store: replication connection closed"},
+			}, 0)
+		},
+		OnFail: func(*net.Endpoint) {
+			rt.InjectSend(svc.Shard(i), kernel.Request{
+				Op: "replfail", Key: i, Arg: replFailMsg{r: r, err: "store: replication connection failed (retries exhausted)"},
+			}, 0)
+		},
+	})
+	return r
 }
 
 // Replicated reports whether quorum replication is attached.
 func (s *Store) Replicated() bool { return s.replica != nil }
 
-// ReplCaughtUp reports whether every shard's bootstrap image is
-// complete AND acknowledged by the replica — from this point on, a
-// primary loss loses nothing acknowledged, including pre-replication
-// state.
+// ReplCaughtUp reports whether every shard's attachment has reached
+// quorum: the bootstrap image is complete AND acknowledged by the
+// replica — from this point on, a primary loss loses nothing
+// acknowledged, including pre-replication state. (Writes issued while
+// the image was still streaming were assigned sequences at or below
+// syncEndSeq, so the cumulative ack that completes the image covers
+// them too — killing a primary the instant this flips is safe.)
 func (s *Store) ReplCaughtUp() bool {
 	for _, sh := range s.shards {
-		r := sh.repl
-		if r == nil || !r.synced || r.ackedSeq < r.syncEndSeq {
+		if sh.repl == nil || !sh.repl.quorum {
 			return false
 		}
 	}
@@ -278,7 +350,7 @@ func (s *Store) ReplCaughtUp() bool {
 // bytes the primary logged, not whatever the buffer holds later.
 // Returns 0 when replication is off. Compaction's re-appends never come
 // through here: the replica already holds those records.
-func (sh *shard) replCapture(op byte, key string, val []byte, ver uint64) uint64 {
+func (sh *shard) replCapture(t *core.Thread, op byte, key string, val []byte, ver uint64) uint64 {
 	r := sh.repl
 	if r == nil {
 		return 0
@@ -289,7 +361,43 @@ func (sh *shard) replCapture(op byte, key string, val []byte, ver uint64) uint64
 		rec.Val = copyBytes(val)
 	}
 	r.out = append(r.out, rec)
+	sh.armAdvert(t) // the tail moved: advertise it before the flush ships it
 	return r.lastSeq
+}
+
+// armAdvert schedules a tail advertisement (once) — captured records
+// sit in r.out for up to a flush interval before they ship, and the
+// replica can only bound its read staleness by tails it has been told
+// about. The advert is a deferred self-message like "flush" and "rto".
+func (sh *shard) armAdvert(t *core.Thread) {
+	r := sh.repl
+	if r == nil || r.advertArmed || !r.synced {
+		return // during bootstrap the image gate blocks replica reads anyway
+	}
+	r.advertArmed = true
+	svc, id, from := sh.s.svc, sh.id, t.Core()
+	rt := sh.s.rt
+	rt.Eng.After(sh.s.P.ReplAdvertiseCycles, func() {
+		rt.InjectSend(svc.Shard(id), kernel.Request{Op: "repladvert", Key: id, Arg: replAdvertMsg{r: r}}, from)
+	})
+}
+
+// replAdvert ships an empty batch advertising the current tail: Seq is
+// the last sequence already on the wire (cumulative-ack safe), Tail the
+// last assigned. The replica learns how far behind it is without
+// waiting for the group commit that will carry the records themselves.
+func (sh *shard) replAdvert(t *core.Thread, m replAdvertMsg) {
+	r := sh.repl
+	if r == nil || r != m.r || sh.failed != "" {
+		return // a timer armed by an attachment this shard abandoned
+	}
+	r.advertArmed = false
+	if len(r.out) == 0 {
+		return // the flush shipped (and advertised) the tail already
+	}
+	sh.s.ReplAdverts++
+	sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
+	sh.armAdvert(t) // keep advertising while records remain unshipped
 }
 
 // replShipOut ships the buffered records as one batch. Ship order is
@@ -306,9 +414,16 @@ func (sh *shard) replShipOut(t *core.Thread) {
 }
 
 // replSend puts one batch on the wire (or queues it until the
-// connection opens), charging the shard the NIC programming cost.
+// connection opens), charging the shard the NIC programming cost. The
+// lag advertisement travels on every batch: Tail is the tail at this
+// instant, Image whether the bootstrap image is complete.
 func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
 	r := sh.repl
+	b.Tail = r.lastSeq
+	b.Image = r.synced
+	if b.Seq > r.lastShip {
+		r.lastShip = b.Seq
+	}
 	sh.s.ReplBatches++
 	sh.s.ReplRecords += uint64(len(b.Recs))
 	t.Compute(replTxCycles + uint64(b.WireBytes())>>3)
@@ -321,9 +436,9 @@ func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
 
 // replOpen is the handshake-complete message: release everything queued
 // behind the connection setup.
-func (sh *shard) replOpen(t *core.Thread) {
+func (sh *shard) replOpen(t *core.Thread, m replOpenMsg) {
 	r := sh.repl
-	if r == nil || sh.failed != "" {
+	if r == nil || r != m.r || sh.failed != "" {
 		return
 	}
 	r.open = true
@@ -333,26 +448,40 @@ func (sh *shard) replOpen(t *core.Thread) {
 	r.queued = nil
 }
 
-// replAckIn lands the replica's cumulative durability receipt and
-// releases every locally-durable write whose sequence it covers — the
-// quorum is complete for exactly those.
-func (sh *shard) replAckIn(t *core.Thread, a ReplAck) {
+// replAckIn lands the replica's cumulative durability receipt, releases
+// every locally-durable write whose sequence it covers — the quorum is
+// complete for exactly those — and flips the attachment to quorum when
+// the receipt covers the bootstrap image.
+func (sh *shard) replAckIn(t *core.Thread, m replAckMsg) {
 	r := sh.repl
-	if r == nil {
-		return
+	if r == nil || r != m.r {
+		return // a receipt from an attachment this shard already abandoned
 	}
-	if a.Err != "" {
-		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: replica: %s", sh.id, a.Err))
+	if m.a.Err != "" {
+		sh.replLost(t, fmt.Sprintf("replica: %s", m.a.Err))
 		return
 	}
 	if sh.failed != "" {
 		return
 	}
 	sh.s.ReplAcks++
-	if a.Seq > r.ackedSeq {
-		r.ackedSeq = a.Seq
+	if m.a.Seq > r.ackedSeq {
+		r.ackedSeq = m.a.Seq
 	}
+	sh.maybeQuorum(t)
 	sh.drainQuorum(t)
+}
+
+// maybeQuorum arms full quorum once the replica's cumulative ack covers
+// the bootstrap image: the heal is complete, write acks are (and stay)
+// two-machine, and replica loss is once again fail-stop.
+func (sh *shard) maybeQuorum(t *core.Thread) {
+	r := sh.repl
+	if r == nil || r.quorum || !r.synced || r.ackedSeq < r.syncEndSeq {
+		return
+	}
+	r.quorum = true
+	sh.s.ReplHeals++
 }
 
 // drainQuorum releases acks whose writes are durable on BOTH machines:
@@ -370,15 +499,14 @@ func (sh *shard) drainQuorum(t *core.Thread) {
 	}
 }
 
-// replFailed condemns the shard: the replica (or the wire to it) is
-// gone, so the quorum can never again be met. Degrading to local-only
-// acks would silently weaken the durability contract mid-flight; a
-// ROADMAP follow-on adds re-replication to a fresh machine instead.
-func (sh *shard) replFailed(t *core.Thread, f replFail) {
-	if sh.repl == nil {
-		return
+// replFailed handles a dead replication connection: fail-stop if the
+// attachment had reached quorum, detach and keep serving if it had not
+// (see replLost in lifecycle.go for the rule).
+func (sh *shard) replFailed(t *core.Thread, m replFailMsg) {
+	if sh.repl == nil || sh.repl != m.r {
+		return // the wire died under an attachment already abandoned
 	}
-	sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, f.err))
+	sh.replLost(t, m.err)
 }
 
 // replEpochSwitch streams the shard's committed region-epoch switch as
@@ -488,10 +616,20 @@ func (sh *shard) replSyncStep(t *core.Thread) {
 		sh.scheduleReplSync(t)
 		return
 	}
-	ship()
-	r.sync = nil
+	// Image complete: mark synced BEFORE the final ship so the batch
+	// that completes the image advertises Image=true — the replica may
+	// start serving bounded-lag reads the moment it lands.
 	r.synced = true
 	r.syncEndSeq = r.lastSeq
+	if len(recs) > 0 {
+		ship()
+	} else {
+		// The last increment found only already-shipped keys; tell the
+		// replica the image is complete with an empty advertisement.
+		sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
+	}
+	r.sync = nil
+	sh.maybeQuorum(t)
 	sh.maybeCompact(t) // a compaction deferred behind the sync may start now
 }
 
@@ -511,6 +649,18 @@ func (s *Store) ApplyRepl(t *core.Thread, b ReplBatch) ReplAck {
 func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.Msg {
 	if sh.failed != "" {
 		return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
+	}
+	// Lag advertisement: remember the furthest primary tail ever told to
+	// us, and whether the bootstrap image is complete — the replica-read
+	// gates (replica_read.go) consult both.
+	if b.Tail > sh.primTail {
+		sh.primTail = b.Tail
+	}
+	if b.Seq > sh.primTail {
+		sh.primTail = b.Seq
+	}
+	if b.Image {
+		sh.imageComplete = true
 	}
 	if b.Epoch > sh.primaryEpoch {
 		// The primary committed a region-epoch switch; note it and treat
@@ -533,14 +683,22 @@ func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.M
 			sh.failStop(t, fmt.Sprintf("store: replica shard %d fail-stop: log region full", sh.id))
 			return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
 		}
-		sh.applyRecord(rec.Op, rec.Key, len(rec.Val), rec.Ver)
+		sh.applyRecord(rec.Op, rec.Key, len(rec.Val), rec.Ver, b.Seq)
 		sh.s.ReplApplied++
 		appended = true
+	}
+	if b.Seq > sh.replApplied {
+		sh.replApplied = b.Seq
 	}
 	if !appended {
 		// Nothing new: every record was a duplicate of one already
 		// applied — and, batches being applied in order by a serving
-		// thread that waits for each ack, already durable.
+		// thread that waits for each ack, already durable. Advancing the
+		// durable horizon may release replica reads parked on it.
+		if b.Seq > sh.replDurable {
+			sh.replDurable = b.Seq
+			sh.drainReplReads(t)
+		}
 		return ReplAck{Shard: sh.id, Seq: b.Seq}
 	}
 	sh.waiters = append(sh.waiters, pendingWrite{

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"chanos/internal/core"
+	"chanos/internal/sim"
+)
+
+// TestReplicaReadStalenessProperty is the property test for the
+// bounded-lag contract, under a seeded delayed/jittered (reordering)
+// wire with concurrent writers. For every replica GET that is served:
+//
+//  1. Staleness floor: the version returned is never older than the
+//     newest version whose ack the primary issued at or below
+//     (advertised tail − bound) — where the advertised tail is read
+//     from the replica BEFORE the GET is issued, a conservative lower
+//     bound on the tail the serve-time gate actually used.
+//  2. Version integrity: an acked version's value is returned exactly;
+//     a version unknown to the ack history must be newer than every
+//     acked one (an apply whose quorum ack was still in flight), never
+//     an invented or resurrected one.
+//  3. Monotone reads: per key, a reader never observes versions going
+//     backwards (the replica index only moves forward).
+//  4. Failover safety: every (key, version) any reader was served is
+//     recovered — at that version or newer — by a store booted from a
+//     snapshot of the replica's platters alone, because a replica read
+//     serves only replica-durable state (the durability park).
+func TestReplicaReadStalenessProperty(t *testing.T) {
+	const (
+		seed    = 89
+		keys    = 16
+		writers = 2
+		readers = 2
+		bound   = 64
+	)
+	p := Params{Shards: 2, CacheBlocks: 8, FlushCycles: 20_000, LogBlocks: 256,
+		ReplicaLagBound: bound}
+	wp := quietWire(seed)
+	wp.JitterCycles = 30_000 // reorders batches and acks on the wire
+	w := newRW(8, p, seed, wp, nil)
+
+	type hist struct {
+		ackTail uint64 // primary tail when this version's ack returned
+		val     string
+	}
+	acked := make([]map[uint64]hist, keys)    // per key: version → history
+	maxAcked := make([]uint64, keys)          // per key: newest acked version
+	lastSeen := make(map[string]uint64, keys) // per (reader-observed) key: newest served version
+	shardOf := func(key string) *shard { return w.kv.shards[keyHash(key)%p.Shards] }
+	keyName := func(i uint64) string { return fmt.Sprintf("pr%02d", i) }
+	for i := range acked {
+		acked[i] = make(map[uint64]hist)
+	}
+
+	var ackedTotal uint64
+	rng := sim.NewRNG(seed)
+	for wr := 0; wr < writers; wr++ {
+		wr := wr
+		w.rt.Boot(fmt.Sprintf("writer.%d", wr), func(th *core.Thread) {
+			for round := 0; round < 200; round++ {
+				ki := rng.Uint64n(keys)
+				key := keyName(ki)
+				val := fmt.Sprintf("%s@w%d.%d", key, wr, round)
+				r := w.kv.Put(th, key, []byte(val))
+				if !r.OK {
+					return
+				}
+				// The write's own sequence is <= the shard's tail now.
+				tail := shardOf(key).repl.lastSeq
+				acked[ki][r.Ver] = hist{ackTail: tail, val: val}
+				if r.Ver > maxAcked[ki] {
+					maxAcked[ki] = r.Ver
+				}
+				ackedTotal++
+			}
+		})
+	}
+
+	var served, refused, reads uint64
+	rrng := sim.NewRNG(seed + 1)
+	for rd := 0; rd < readers; rd++ {
+		rd := rd
+		w.rm.RT.Boot(fmt.Sprintf("reader.%d", rd), func(th *core.Thread) {
+			for round := 0; round < 300; round++ {
+				th.Compute(4_000)
+				ki := rrng.Uint64n(keys)
+				key := keyName(ki)
+				// Conservative pre-issue observation of the advertised
+				// tail (monotone, so <= the tail the gate will see).
+				tailBefore := w.rm.KV.shards[keyHash(key)%p.Shards].primTail
+				g := w.rm.KV.GetReplica(th, key)
+				reads++
+				if g.Err != "" {
+					if g.Err != ErrReplicaLag && g.Err != ErrReplicaSyncing {
+						t.Errorf("replica read failed oddly: %q", g.Err)
+					}
+					refused++
+					continue
+				}
+				var floor uint64
+				if tailBefore > bound {
+					horizon := tailBefore - bound
+					for ver, h := range acked[ki] {
+						if h.ackTail <= horizon && ver > floor {
+							floor = ver
+						}
+					}
+				}
+				if !g.Found {
+					if floor > 0 {
+						t.Errorf("%s: replica read found nothing, but ver %d was acked %d seqs behind the tail",
+							key, floor, bound)
+					}
+					continue
+				}
+				served++
+				if g.Ver < floor {
+					t.Errorf("%s: replica served ver %d, staleness floor is %d (tail %d, bound %d)",
+						key, g.Ver, floor, tailBefore, bound)
+				}
+				if h, ok := acked[ki][g.Ver]; ok {
+					if string(g.Val) != h.val {
+						t.Errorf("%s: replica served %q at ver %d, acked value was %q", key, g.Val, g.Ver, h.val)
+					}
+				} else if g.Ver <= maxAcked[ki] {
+					t.Errorf("%s: replica served unknown ver %d below acked max %d", key, g.Ver, maxAcked[ki])
+				}
+				if g.Ver < lastSeen[key] {
+					t.Errorf("%s: reads went backwards: ver %d after ver %d", key, g.Ver, lastSeen[key])
+				}
+				if g.Ver > lastSeen[key] {
+					lastSeen[key] = g.Ver
+				}
+			}
+		})
+	}
+
+	for step := 0; step < 6000 && reads < readers*300; step++ {
+		w.rt.RunFor(20_000)
+	}
+	if ackedTotal == 0 || served == 0 {
+		t.Fatalf("workload too thin: acked=%d served=%d refused=%d reads=%d", ackedTotal, served, refused, reads)
+	}
+
+	// Failover safety: a store booted from the replica's platters alone
+	// holds everything any reader was ever served, at >= that version.
+	rdatas := snapDisks(w.rm.KV)
+	w.shutdown()
+	wa := bootHW(8, p, seed+9, rdatas)
+	defer wa.rt.Shutdown()
+	checked := false
+	wa.rt.Boot("auditor", func(th *core.Thread) {
+		for key, ver := range lastSeen {
+			g := wa.kv.Get(th, key)
+			if !g.Found || g.Ver < ver {
+				t.Errorf("failover lost a version a replica read had served: %s ver %d -> %+v", key, ver, g)
+			}
+		}
+		checked = true
+	})
+	wa.rt.Run()
+	if !checked {
+		t.Fatal("auditor never finished")
+	}
+}

@@ -25,6 +25,14 @@
 // keeps serving between increments and never blocks — then commits the
 // switch with a sealed region-epoch record (see compact.go and
 // DESIGN.md §store).
+//
+// Durability extends past the machine: each shard can stream its log
+// to a replica shard on a second simulated machine and ack writes only
+// on two-machine quorum (repl.go). Replication is a runtime lifecycle,
+// not a boot-time configuration — a solo or failed-over store heals by
+// attaching a fresh replica while live (lifecycle.go), and the
+// replica's version-correct index serves bounded-staleness GETs
+// (replica_read.go).
 package store
 
 import (
@@ -69,6 +77,15 @@ type Params struct {
 	// (each increment re-enters the shard as a deferred self-message).
 	// Default 2000 (1 µs).
 	CompactStepCycles uint64
+	// ReplicaLagBound is the bounded-staleness window for replica reads,
+	// in replication sequence numbers: a replica shard refuses a GET
+	// when the primary's advertised tail exceeds the shard's applied
+	// sequence by more than this. Default 256.
+	ReplicaLagBound uint64
+	// ReplAdvertiseCycles is how long a captured-but-unflushed record
+	// may go unadvertised to the replica (the advert is what lets a
+	// replica see the lag it must bound). Default FlushCycles/2.
+	ReplAdvertiseCycles uint64
 	// Disk overrides the per-shard log device model; zero-valued fields
 	// take blockdev.DefaultDiskParams(1 + 2*LogBlocks).
 	Disk blockdev.DiskParams
@@ -98,6 +115,12 @@ func (p *Params) fill() {
 	}
 	if p.CompactStepCycles == 0 {
 		p.CompactStepCycles = 2_000
+	}
+	if p.ReplicaLagBound == 0 {
+		p.ReplicaLagBound = 256
+	}
+	if p.ReplAdvertiseCycles == 0 {
+		p.ReplAdvertiseCycles = p.FlushCycles / 2
 	}
 	def := blockdev.DefaultDiskParams(superBlocks + 2*p.LogBlocks)
 	if p.Disk.NumBlocks <= 0 {
@@ -314,6 +337,13 @@ type loc struct {
 	vlen  int
 	ver   uint64
 	dead  bool
+	// seq, on a replica shard, is the replication sequence whose
+	// durability this version's failover-safety rides on: a replica
+	// read must not serve the version until the shard's durable horizon
+	// covers it (replica_read.go). 0 means "already durable somewhere"
+	// — primary-side appends, recovery replay and compaction re-copies
+	// (whose source record is still on the platters) all write 0.
+	seq uint64
 }
 
 // pendingWrite is an acknowledgement waiting for its record's block
@@ -378,6 +408,20 @@ type shard struct {
 	// primaryEpoch, on a replica shard, is the highest region epoch the
 	// primary has streamed (superblock switches travel with batches).
 	primaryEpoch uint64
+	// Replica-read state (replica shards only; see replica_read.go).
+	// primTail is the furthest primary tail ever advertised, replApplied
+	// the last batch sequence applied, replDurable the last sequence
+	// known durable on this shard's own platters, and imageComplete
+	// whether a complete bootstrap image has landed — reads are refused
+	// until it has, and refused again whenever primTail−replApplied
+	// exceeds the staleness bound.
+	primTail      uint64
+	replApplied   uint64
+	replDurable   uint64
+	imageComplete bool
+	// replReads holds replica GETs parked until replDurable covers the
+	// sequence their resolved version rides on.
+	replReads []pendingReplRead
 	// liveBytes is the log footprint of the current index contents
 	// (live records plus tombstones) — what a compaction would copy.
 	liveBytes int
@@ -404,8 +448,14 @@ type Store struct {
 	disks  []*blockdev.Disk
 	shards []*shard // per-shard private state, in shard order (stats only)
 
-	replica   *ReplicaMachine // quorum replication target (ReplicateTo)
+	replica   *ReplicaMachine // quorum replication target (AttachReplica)
 	recovered bool            // booted from carried-over disks
+	// replicaRole marks a store built to RECEIVE replication (it lives
+	// on a ReplicaMachine): its replica-read path must refuse to serve
+	// until a complete bootstrap image has landed, even before the
+	// first batch arrives — an empty index here means "not fed yet",
+	// not "the data does not exist".
+	replicaRole bool
 
 	// Stats (single simulation goroutine: plain counters, like the
 	// netstack's).
@@ -432,6 +482,14 @@ type Store struct {
 	ReplSyncRecords uint64 // records streamed by bootstrap sweeps
 	ReplApplied     uint64 // records applied from a primary (replica side)
 	ReplStale       uint64 // replicated records skipped as duplicates (replica side)
+
+	ReplAttaches  uint64 // replica attachments begun (AttachReplica calls)
+	ReplHeals     uint64 // shard attachments that reached quorum via a bootstrap image
+	ReplDetached  uint64 // shard attachments dropped before quorum (replica lost mid-sync)
+	ReplAdverts   uint64 // tail advertisements shipped ahead of their flush
+	ReplicaGets   uint64 // replica-read GETs served or refused (replica side)
+	ReplicaLagged uint64 // replica-read GETs refused: lag beyond bound or image incomplete
+	ReplicaWaits  uint64 // replica-read GETs parked for the durable horizon
 }
 
 // New registers the "store" service on k's kernel cores. disks carries
@@ -642,14 +700,20 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 			sh.recover(t)
 		case "repl":
 			return sh.applyRepl(t, req.Arg.(ReplBatch), req.Reply)
+		case "getr":
+			return sh.getReplica(t, req.Arg.(getArg).Key, req.Reply)
+		case "replattach":
+			sh.replAttachIn(t, req.Arg.(replAttach))
 		case "replopen":
-			sh.replOpen(t)
+			sh.replOpen(t, req.Arg.(replOpenMsg))
 		case "replack":
-			sh.replAckIn(t, req.Arg.(ReplAck))
+			sh.replAckIn(t, req.Arg.(replAckMsg))
 		case "replfail":
-			sh.replFailed(t, req.Arg.(replFail))
+			sh.replFailed(t, req.Arg.(replFailMsg))
 		case "replsync":
 			sh.replSyncStep(t)
+		case "repladvert":
+			sh.replAdvert(t, req.Arg.(replAdvertMsg))
 		}
 		return nil
 	}
@@ -667,6 +731,14 @@ func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
 	if !ok || l.dead {
 		return GetResult{Found: false}
 	}
+	return sh.serveLoc(t, l, reply)
+}
+
+// serveLoc materialises one index entry's value: from the open tail
+// block, the cache, or a disk read (the only deferring case — the GET
+// parks and the shard keeps serving). Shared by the local read path,
+// the bounded-lag replica read path, and the parked-read drains.
+func (sh *shard) serveLoc(t *core.Thread, l loc, reply *core.Chan) core.Msg {
 	if l.block == sh.openBlock {
 		// The tail block lives in memory until sealed.
 		sh.s.CacheHits++
@@ -760,8 +832,8 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
-	sh.applyRecord(recPut, key, len(val), ver)
-	seq := sh.replCapture(recPut, key, val, ver)
+	sh.applyRecord(recPut, key, len(val), ver, 0)
+	seq := sh.replCapture(t, recPut, key, val, ver)
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
 		res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
 	sh.armFlush(t)
@@ -786,8 +858,8 @@ func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 		sh.s.LogFull++
 		return WriteResult{Err: "store: log region full"}
 	}
-	sh.applyRecord(recDel, key, 0, ver)
-	seq := sh.replCapture(recDel, key, nil, ver)
+	sh.applyRecord(recDel, key, 0, ver, 0)
+	seq := sh.replCapture(t, recDel, key, nil, ver)
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
 		res: WriteResult{OK: true, Found: true, Ver: ver}})
 	sh.armFlush(t)
@@ -823,7 +895,7 @@ func (sh *shard) scan(a scanArg) ScanResult {
 // record's log footprint is. Live entries cost header+key+value,
 // tombstones header+key (their version floor is retained forever, so
 // their footprint is too).
-func (sh *shard) applyRecord(op byte, key string, vlen int, ver uint64) {
+func (sh *shard) applyRecord(op byte, key string, vlen int, ver uint64, seq uint64) {
 	old, existed := sh.idx[key]
 	if op == recPut {
 		if existed {
@@ -833,7 +905,7 @@ func (sh *shard) applyRecord(op byte, key string, vlen int, ver uint64) {
 			}
 		}
 		sh.liveBytes += recHeader + len(key) + vlen
-		sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - vlen, vlen: vlen, ver: ver}
+		sh.idx[key] = loc{block: sh.openBlock, off: len(sh.open) - vlen, vlen: vlen, ver: ver, seq: seq}
 		return
 	}
 	if existed && !old.dead {
@@ -841,7 +913,7 @@ func (sh *shard) applyRecord(op byte, key string, vlen int, ver uint64) {
 	} else if !existed {
 		sh.liveBytes += recHeader + len(key)
 	}
-	sh.idx[key] = loc{block: sh.openBlock, ver: ver, dead: true}
+	sh.idx[key] = loc{block: sh.openBlock, ver: ver, dead: true, seq: seq}
 }
 
 // writeEpoch is the epoch whose region appends currently land in: the
@@ -956,10 +1028,13 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	if d.sealed {
 		sh.cache.put(d.block, d.data)
 	}
-	if sh.repl != nil {
+	if r := sh.repl; r != nil && r.synced {
 		// Quorum mode: local durability is half the vote. Park the acks
 		// (in sequence order — flushes complete in issue order) until
-		// the replica's cumulative ack covers them.
+		// the replica's cumulative ack covers them. Writes that landed
+		// while the bootstrap image was still streaming ack at local
+		// flush instead — the shard is still serving under its
+		// pre-attach contract until the image completes.
 		for _, pw := range d.batch {
 			if pw.reply != nil {
 				sh.replWait = append(sh.replWait, pw)
@@ -969,12 +1044,20 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	} else {
 		for _, pw := range d.batch {
 			if pw.reply != nil {
-				if !pw.repl {
+				if pw.repl {
+					// Replica side: this ack IS the durability receipt —
+					// the sequence it covers is now on our platters, so
+					// replica reads parked on it may serve.
+					if a, ok := pw.res.(ReplAck); ok && a.Seq > sh.replDurable {
+						sh.replDurable = a.Seq
+					}
+				} else {
 					sh.s.AckedWrites++
 				}
 				pw.reply.Send(t, pw.res)
 			}
 		}
+		sh.drainReplReads(t)
 	}
 	sh.maybeCommitEpoch(t)
 }
@@ -1009,6 +1092,12 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 		}
 	}
 	sh.replWait = nil
+	for _, pr := range sh.replReads {
+		if pr.reply != nil {
+			pr.reply.Send(t, GetResult{Err: err})
+		}
+	}
+	sh.replReads = nil
 	blocks := make([]int, 0, len(sh.reads))
 	for b := range sh.reads {
 		blocks = append(blocks, b)

@@ -102,7 +102,9 @@ func (s *Store) Apply(t *core.Thread, req KVRequest) KVResponse {
 // ServeConn pumps one connection: decode requests in arrival order,
 // execute each against the store, send the response. It returns when
 // the peer closes. One lightweight thread per connection is the
-// intended serving shape ("starting one is easy").
+// intended serving shape ("starting one is easy"). The same protocol
+// served on a replica machine's read port is GET-only with bounded
+// staleness — see ServeReplicaReads (replica_read.go).
 func ServeConn(t *core.Thread, c *net.Conn, s *Store) {
 	for {
 		v, ok := c.Recv(t)

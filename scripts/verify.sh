@@ -108,6 +108,44 @@ if [ "$short" = "0" ]; then
         echo "verify: BENCH_E16.json has no rows" >&2
         exit 1
     }
+
+    echo "== E17 heal smoke (quick, -json)"
+    out=$(go run ./cmd/chanos-bench -run E17 -quick -json)
+    echo "$out"
+    # The heal table is the lifecycle gate: every kill -> failover ->
+    # re-attach cycle must end back at quorum ("quorum" column yes) with
+    # zero acked writes lost, and the runtime re-attach cycles must have
+    # actually streamed a bootstrap image (sync records > 0).
+    heals=$(echo "$out" | sed -n '/E17 \/ quorum healing/,/^$/p')
+    [ -n "$heals" ] || {
+        echo "verify: E17 heal table missing" >&2
+        exit 1
+    }
+    if ! echo "$heals" | awk '/^[0-9]/{ rows++; if ($NF != "yes") bad=1; if ($(NF-1) != "0") bad=1;
+        if ($2 == "runtime") { runtime++; if ($4+0 == 0) bad=1 } }
+        END { exit !(rows >= 3 && runtime >= 2 && !bad) }'; then
+        echo "verify: a heal cycle lost acked writes, never reached quorum, or never synced" >&2
+        exit 1
+    fi
+    # The replica-read sweep must show the healed pair's second index
+    # lifting GET throughput by at least 1.5x at fixed cores.
+    reads=$(echo "$out" | sed -n '/E17b \/ replica reads/,/^$/p')
+    [ -n "$reads" ] || {
+        echo "verify: E17b replica-read table missing" >&2
+        exit 1
+    }
+    if ! echo "$reads" | awk '/^replica-reads /{ if ($NF+0 >= 1.5) ok=1 } END { exit !ok }'; then
+        echo "verify: replica reads lifted GET throughput by less than 1.5x" >&2
+        exit 1
+    fi
+    test -s BENCH_E17.json || {
+        echo "verify: BENCH_E17.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"rows"' BENCH_E17.json || {
+        echo "verify: BENCH_E17.json has no rows" >&2
+        exit 1
+    }
 fi
 
 echo "verify: OK"
