@@ -19,6 +19,7 @@ import (
 
 	"chanos/internal/exp"
 	"chanos/internal/stats"
+	"chanos/internal/telemetry"
 )
 
 func main() {
@@ -65,6 +66,11 @@ func main() {
 
 func emit(e exp.Experiment, o exp.Options, csv, jsonOut bool) {
 	fmt.Printf("# %s — %s\n", e.ID, e.Title)
+	// Instrumented experiments hand over telemetry snapshots as they run;
+	// the last one — the final state of the last world measured — rides
+	// along in the JSON artifact.
+	var snap *telemetry.Snapshot
+	o.SnapshotSink = func(s *telemetry.Snapshot) { snap = s }
 	tables := e.Run(o)
 	for _, tb := range tables {
 		if csv {
@@ -75,7 +81,7 @@ func emit(e exp.Experiment, o exp.Options, csv, jsonOut bool) {
 		}
 	}
 	if jsonOut {
-		writeJSON(e, o, tables)
+		writeJSON(e, o, tables, snap)
 	}
 }
 
@@ -86,6 +92,10 @@ type benchJSON struct {
 	Seed   uint64      `json:"seed"`
 	Quick  bool        `json:"quick"`
 	Tables []tableJSON `json:"tables"`
+	// Telemetry is the final telemetry snapshot of the experiment's last
+	// measured world (present for instrumented experiments): the full
+	// per-service metric state behind the table cells.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 type tableJSON struct {
@@ -95,8 +105,8 @@ type tableJSON struct {
 	Notes []string   `json:"notes,omitempty"`
 }
 
-func writeJSON(e exp.Experiment, o exp.Options, tables []*stats.Table) {
-	out := benchJSON{ID: e.ID, Title: e.Title, Seed: o.Seed, Quick: o.Quick}
+func writeJSON(e exp.Experiment, o exp.Options, tables []*stats.Table, snap *telemetry.Snapshot) {
+	out := benchJSON{ID: e.ID, Title: e.Title, Seed: o.Seed, Quick: o.Quick, Telemetry: snap}
 	for _, tb := range tables {
 		out.Tables = append(out.Tables, tableJSON{
 			Title: tb.Title, Cols: tb.Cols, Rows: tb.Rows, Notes: tb.Notes,

@@ -16,6 +16,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/sched"
 	"chanos/internal/sim"
+	"chanos/internal/telemetry"
 	"chanos/internal/trace"
 	"chanos/internal/vfs"
 	"chanos/internal/workload"
@@ -124,6 +125,22 @@ func main() {
 			})
 		}
 	})
+
+	// With tracing on, statd sweeps the scheduler and emits per-core
+	// run-queue depth and busy-permille counter series into the same
+	// timeline — Perfetto shows load imbalance alongside the run
+	// segments. The sweep is engine-context and costs the simulated
+	// machine nothing, so the trace stays behaviour-neutral. Started
+	// only now: its perpetual re-arm would keep the boot-phase Run()
+	// (which drains to quiescence) from ever returning.
+	if collector != nil {
+		sd := telemetry.NewStatd(eng)
+		sd.Tracer = collector
+		sd.Register("sched", telemetry.NewSchedSource(rt, func(c int) uint64 {
+			return uint64(m.Core(c).Utilization(eng.Now()) * 1000)
+		}))
+		sd.Start()
+	}
 
 	window := m.Cycles(*seconds)
 	rt.RunFor(window)

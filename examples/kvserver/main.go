@@ -20,20 +20,22 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/net"
 	"chanos/internal/store"
+	"chanos/internal/telemetry"
 )
 
 func main() {
 	var (
-		cores     = flag.Int("cores", 64, "simulated cores")
-		clients   = flag.Int("clients", 128, "closed-loop clients on the wire")
-		requests  = flag.Int("requests", 20_000, "client requests to serve")
-		readPct   = flag.Int("readpct", 70, "share of requests that are GETs (0-100)")
-		keys      = flag.Int("keys", 4096, "keyspace size")
-		seed      = flag.Uint64("seed", 7, "simulation seed")
-		loss      = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
-		logBlocks = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
-		replicas  = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
-		replReads = flag.Bool("replica-reads", false, "with -replicas 1: serve a second GET-only fleet from the replica's bounded-staleness read port")
+		cores      = flag.Int("cores", 64, "simulated cores")
+		clients    = flag.Int("clients", 128, "closed-loop clients on the wire")
+		requests   = flag.Int("requests", 20_000, "client requests to serve")
+		readPct    = flag.Int("readpct", 70, "share of requests that are GETs (0-100)")
+		keys       = flag.Int("keys", 4096, "keyspace size")
+		seed       = flag.Uint64("seed", 7, "simulation seed")
+		loss       = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
+		logBlocks  = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
+		replicas   = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
+		replReads  = flag.Bool("replica-reads", false, "with -replicas 1: serve a second GET-only fleet from the replica's bounded-staleness read port")
+		statsEvery = flag.Float64("stats-every", 0, "print a live telemetry line every N simulated ms (0 = off)")
 	)
 	flag.Parse()
 	if *replReads && *replicas == 0 {
@@ -71,6 +73,16 @@ func main() {
 		kv.AttachReplica(rm)
 	}
 	l := st.Listen(6379)
+
+	// The telemetry plane: statd sweeps the store, netstack and NIC shard
+	// metric sets. Registered sources also serve the STATS wire verb and
+	// the final report below; enabling it does not perturb the run (the
+	// collector costs the machine zero simulated cycles).
+	sd := telemetry.NewStatd(sys.Eng)
+	sd.Register("store", kv)
+	sd.Register("net", st)
+	sd.Register("nic", nic)
+	kv.AttachStatd(sd)
 
 	mode := "local-only durability"
 	if rm != nil {
@@ -156,11 +168,34 @@ func main() {
 	})
 
 	// Serve until the fleet has its responses — or stops making progress.
+	// With -stats-every, a live telemetry line prints between run slices:
+	// the same snapshot path the STATS wire verb serves.
 	slice := sys.Cycles(0.0002)
+	statsStride := 0
+	if *statsEvery > 0 {
+		statsStride = int(sys.Cycles(*statsEvery/1e3)/slice) + 1
+	}
+	lastResp, lastHits, lastMisses := uint64(0), uint64(0), uint64(0)
+	lastAt := sys.Now()
 	stalled := 0
-	for pool.Responses < uint64(*requests) {
+	for i := 0; pool.Responses < uint64(*requests); i++ {
 		before := pool.Responses
 		sys.RunFor(slice)
+		if statsStride > 0 && (i+1)%statsStride == 0 {
+			snap := sd.SnapshotNow()
+			stc := snap.Service("store")
+			hits, misses := stc.Total("CacheHits"), stc.Total("CacheMisses")
+			hr := 0.0
+			if d := (hits - lastHits) + (misses - lastMisses); d > 0 {
+				hr = float64(hits-lastHits) / float64(d)
+			}
+			secs := sys.Seconds(sys.Now() - lastAt)
+			fmt.Printf("  [%7.2f ms] state=%-11s ops/sec=%-9.0f hit=%3.0f%% repl-lag=%-6d in-flight=%d\n",
+				sys.Seconds(sys.Now())*1e3, kv.Lifecycle(),
+				float64(pool.Responses-lastResp)/secs, hr*100,
+				stc.Total("ReplLag"), stc.Total("WritesInFlight"))
+			lastResp, lastHits, lastMisses, lastAt = pool.Responses, hits, misses, sys.Now()
+		}
 		if pool.Responses == before {
 			stalled++
 		} else {
@@ -173,11 +208,15 @@ func main() {
 		}
 	}
 
+	// The final report reads one telemetry snapshot — the same folded
+	// view a live STATS scrape would have returned.
+	snap := sd.SnapshotNow()
+	kc := kv.Counters()
 	elapsed := sys.Seconds(sys.Now())
 	us := func(cycles uint64) float64 { return sys.Seconds(cycles) * 1e6 }
 	hr := 0.0
-	if kv.CacheHits+kv.CacheMisses > 0 {
-		hr = float64(kv.CacheHits) / float64(kv.CacheHits+kv.CacheMisses)
+	if kc.CacheHits+kc.CacheMisses > 0 {
+		hr = float64(kc.CacheHits) / float64(kc.CacheHits+kc.CacheMisses)
 	}
 	var diskWrites, diskBytes uint64
 	for _, d := range kv.Disks() {
@@ -191,13 +230,19 @@ func main() {
 	fmt.Printf("  latency      %8.1f us p50   %.1f us p99\n",
 		us(pool.Lat.Percentile(50)), us(pool.Lat.Percentile(99)))
 	fmt.Printf("  store        %8d gets (%.0f%% cache hits), %d puts acked durable, %d deletes\n",
-		kv.Gets, hr*100, kv.AckedWrites, kv.Deletes)
-	fmt.Printf("  log          %8d flushes, %d disk writes, %d MB moved\n",
-		kv.FlushesDone, diskWrites, diskBytes>>20)
+		kc.Gets, hr*100, kc.AckedWrites, kc.Deletes)
+	if fl := snap.Service("store").TotalHist("FlushLatency"); fl != nil && fl.N > 0 {
+		fmt.Printf("  log          %8d flushes (p50 %.1f us, p99 %.1f us), %d disk writes, %d MB moved\n",
+			kc.FlushesDone, us(fl.P50), us(fl.P99), diskWrites, diskBytes>>20)
+	} else {
+		fmt.Printf("  log          %8d flushes, %d disk writes, %d MB moved\n",
+			kc.FlushesDone, diskWrites, diskBytes>>20)
+	}
 	fmt.Printf("  compaction   %8d runs, %d records copied, %d writes refused (log full), live ratio %.2f\n",
-		kv.CompactionsDone, kv.CompactedRecords, kv.LogFull, kv.LiveRatio())
+		kc.CompactionsDone, kc.CompactedRecords, kc.LogFull, kv.LiveRatio())
+	stc := st.Counters()
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
-		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.RxDrops)
+		nw.ToHost, nw.ToClient, stc.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.Counters().RxDrops)
 	// The lifecycle state prints unconditionally: "solo" (never
 	// replicated) and "failed-over"/"syncing" (degraded) are different
 	// operational situations, and a 0/0 replication line used to make
@@ -209,13 +254,25 @@ func main() {
 		for _, d := range rm.KV.Disks() {
 			rWrites += d.Writes
 		}
+		rc := rm.KV.Counters()
 		fmt.Printf("  replication  state=%s; %d batches (%d records) shipped, %d acks, %d adverts; %d shard heals, %d detaches\n",
-			kv.Lifecycle(), kv.ReplBatches, kv.ReplRecords, kv.ReplAcks, kv.ReplAdverts, kv.ReplHeals, kv.ReplDetached)
+			kv.Lifecycle(), kc.ReplBatches, kc.ReplRecords, kc.ReplAcks, kc.ReplAdverts, kc.ReplHeals, kc.ReplDetached)
 		fmt.Printf("  replica      %8d applied (%d stale), %d disk writes\n",
-			rm.KV.ReplApplied, rm.KV.ReplStale, rWrites)
+			rc.ReplApplied, rc.ReplStale, rWrites)
 		if rPool != nil {
 			fmt.Printf("  repl reads   %8d GETs served over %d conns (%d refused: lag/sync), %d lag-refused, %d durability waits, p99 %.1f us\n",
-				rGets, rPool.Completed, rRefused, rm.KV.ReplicaLagged, rm.KV.ReplicaWaits, us(rPool.Lat.Percentile(99)))
+				rGets, rPool.Completed, rRefused, rc.RefusedSyncing+rc.RefusedLag, rc.ReplicaWaits, us(rPool.Lat.Percentile(99)))
 		}
+	}
+	// Conservation self-check over the final snapshot: every read and
+	// write arrival must be accounted for by exactly one terminal counter
+	// or in-flight gauge.
+	if bad := snap.Conservation(); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Printf("  CONSERVATION VIOLATED: %s\n", b)
+		}
+	} else {
+		fmt.Printf("  telemetry    snapshot seq=%d at %.2f ms; conservation laws hold\n",
+			snap.Seq, sys.Seconds(snap.AtCycles)*1e3)
 	}
 }

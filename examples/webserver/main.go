@@ -97,7 +97,7 @@ func main() {
 	fmt.Printf("  latency      %8.1f us p50   %.1f us p99\n",
 		us(pool.Lat.Percentile(50)), us(pool.Lat.Percentile(99)))
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d rx drops\n",
-		nw.ToHost, nw.ToClient, st.Retransmits+nw.Retransmits, nic.RxDrops)
+		nw.ToHost, nw.ToClient, st.Counters().Retransmits+nw.Retransmits, nic.Counters().RxDrops)
 	fmt.Printf("  payload      %8d bytes of responses\n", bytesOut)
 }
 

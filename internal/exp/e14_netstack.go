@@ -76,8 +76,8 @@ func e14Run(o Options, cores, shards, clients int, window sim.Time) e14Result {
 		connsPerSec: w.opsPerSec(pool.Completed, window),
 		reqsPerSec:  w.opsPerSec(pool.Responses, window),
 		p99Us:       w.m.Seconds(pool.Lat.Percentile(99)) * 1e6,
-		rxDrops:     nic.RxDrops,
-		retrans:     st.Retransmits + nw.Retransmits,
+		rxDrops:     nic.Counters().RxDrops,
+		retrans:     st.Counters().Retransmits + nw.Retransmits,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"chanos/internal/sim"
 	"chanos/internal/stats"
 	"chanos/internal/store"
+	"chanos/internal/telemetry"
 )
 
 func init() {
@@ -26,6 +27,7 @@ type e15Result struct {
 	flushes     uint64
 	retrans     uint64
 	logFull     uint64
+	consBad     int // conservation-law violations in the final snapshot
 }
 
 const (
@@ -59,6 +61,11 @@ func e15Run(o Options, cores, shards, clients, readPct int, window sim.Time) e15
 	// grows with shards, so the sweep shows the working set falling into
 	// cache as the service scales out.
 	kv := store.New(w.rt, k, store.Params{Shards: shards, CacheBlocks: 16}, nil)
+	sd := telemetry.NewStatd(w.eng)
+	sd.Register("store", kv)
+	sd.Register("net", stk)
+	sd.Register("nic", nic)
+	kv.AttachStatd(sd)
 	l := stk.Listen(e15Port)
 
 	w.rt.Boot("accept", func(t *core.Thread) {
@@ -85,7 +92,7 @@ func e15Run(o Options, cores, shards, clients, readPct int, window sim.Time) e15
 		w.rt.RunFor(1_000_000)
 	}
 
-	hitsBase, missesBase := kv.CacheHits, kv.CacheMisses
+	base := kv.Counters()
 	pool := net.NewClientPool(nw, net.ClientParams{
 		Port:        e15Port,
 		Clients:     clients,
@@ -96,21 +103,25 @@ func e15Run(o Options, cores, shards, clients, readPct int, window sim.Time) e15
 	})
 	w.rt.RunFor(window)
 
-	hits := kv.CacheHits - hitsBase
-	misses := kv.CacheMisses - missesBase
+	c := kv.Counters()
+	hits := c.CacheHits - base.CacheHits
+	misses := c.CacheMisses - base.CacheMisses
 	hr := 0.0
 	if hits+misses > 0 {
 		hr = float64(hits) / float64(hits+misses)
 	}
+	snap := sd.SnapshotNow()
+	o.publishSnapshot(snap)
 	return e15Result{
 		shards:      kv.Shards(),
 		opsPerSec:   w.opsPerSec(pool.Responses, window),
 		p99Us:       w.m.Seconds(pool.Lat.Percentile(99)) * 1e6,
 		hitRate:     hr,
-		ackedWrites: kv.AckedWrites,
-		flushes:     kv.FlushesDone,
-		retrans:     stk.Retransmits + nw.Retransmits,
-		logFull:     kv.LogFull,
+		ackedWrites: c.AckedWrites,
+		flushes:     c.FlushesDone,
+		retrans:     stk.Counters().Retransmits + nw.Retransmits,
+		logFull:     c.LogFull,
+		consBad:     len(snap.Conservation()),
 	}
 }
 
@@ -188,7 +199,7 @@ func e15Churn(o Options, mult float64) e15ChurnResult {
 		bytesWritten: appended,
 		capMult:      float64(appended) / float64(capacity),
 		refused:      refused,
-		compactions:  kv.CompactionsDone,
+		compactions:  kv.Counters().CompactionsDone,
 		liveRatio:    kv.LiveRatio(),
 		p99Us:        w.m.Seconds(lat.Percentile(99)) * 1e6,
 		opsPerSec:    w.opsPerSec(lat.N(), w.eng.Now()),
@@ -211,14 +222,16 @@ func e15Store(o Options) []*stats.Table {
 	}
 
 	tb := stats.NewTable("E15 / store scaling: cores sweep (store shards = cores, 70% reads, fixed client fleet)",
-		"cores", "store shards", "ops/sec", "p99 latency (us)", "cache hit rate", "log flushes", "log full")
+		"cores", "store shards", "ops/sec", "p99 latency (us)", "cache hit rate", "log flushes", "log full", "conservation")
 	for _, c := range coreCounts {
 		r := e15Run(o, c, c, clients, 70, window)
 		tb.AddRow(fmt.Sprint(c), fmt.Sprint(r.shards), stats.F(r.opsPerSec), stats.F(r.p99Us),
-			fmt.Sprintf("%.2f", r.hitRate), fmt.Sprint(r.flushes), fmt.Sprint(r.logFull))
+			fmt.Sprintf("%.2f", r.hitRate), fmt.Sprint(r.flushes), fmt.Sprint(r.logFull), consCell(r.consBad))
 	}
 	tb.Note("claim (§4): a stateful kernel service sharded by object — here by key — scales like the netstack did")
 	tb.Note("writes are durable before they are acknowledged (group commit); p99 includes that wait")
+	tb.Note("conservation checks the final telemetry snapshot's read/write/ack/flush balance laws (internal/telemetry)")
+	tb.Note(pctlNote)
 
 	sb := stats.NewTable(fmt.Sprintf("E15b: store shard sweep at %d cores (50/50 mix; independent keys should not serialise)", sweepCores),
 		"store shards", "ops/sec", "p99 latency (us)", "cache hit rate", "acked writes")
@@ -228,6 +241,7 @@ func e15Store(o Options) []*stats.Table {
 			fmt.Sprintf("%.2f", r.hitRate), fmt.Sprint(r.ackedWrites))
 	}
 	sb.Note("one shard is the classic single-threaded storage daemon behind a lock; shards parallelise both the index and the log devices")
+	sb.Note(pctlNote)
 
 	mb := stats.NewTable(fmt.Sprintf("E15c: read/write mix at %d cores (shards = kernel cores)", sweepCores),
 		"read %", "ops/sec", "p99 latency (us)", "cache hit rate", "retransmits")
@@ -237,6 +251,7 @@ func e15Store(o Options) []*stats.Table {
 			fmt.Sprintf("%.2f", r.hitRate), fmt.Sprint(r.retrans))
 	}
 	mb.Note("reads ride the block cache; writes pay the log — the mix moves the bottleneck between them")
+	mb.Note(pctlNote)
 
 	mults := []float64{0.5, 2, 8}
 	if o.Quick {
@@ -251,5 +266,18 @@ func e15Store(o Options) []*stats.Table {
 	}
 	cb.Note("before compaction this workload died at ~1.0x with every further write refused; refused must stay 0")
 	cb.Note("compaction runs inside the shard as deferred self-messages — p99 stays bounded because serving never stops")
+	cb.Note(pctlNote)
 	return []*stats.Table{tb, sb, mb, cb}
+}
+
+// pctlNote flags the stats.Histogram.Percentile change so readers
+// comparing against pre-interpolation tables know why p99 cells moved.
+const pctlNote = "p99 interpolates within log2 buckets (was: bucket upper bound); values shifted vs tables from before the change"
+
+// consCell renders a conservation-violation count as a table cell.
+func consCell(bad int) string {
+	if bad == 0 {
+		return "ok"
+	}
+	return fmt.Sprintf("%d VIOLATED", bad)
 }

@@ -117,13 +117,14 @@ func e16Run(o Options, cores, shards, clients, readPct int, window sim.Time, quo
 		MakeReq:     ew.wl.MakeReq,
 	})
 	ew.w.rt.RunFor(window)
+	c := ew.kv.Counters()
 	return e16Result{
 		shards:      ew.kv.Shards(),
 		opsPerSec:   ew.w.opsPerSec(pool.Responses, window),
 		p99Us:       ew.w.m.Seconds(pool.Lat.Percentile(99)) * 1e6,
-		ackedWrites: ew.kv.AckedWrites,
-		replBatches: ew.kv.ReplBatches,
-		replRecords: ew.kv.ReplRecords,
+		ackedWrites: c.AckedWrites,
+		replBatches: c.ReplBatches,
+		replRecords: c.ReplRecords,
 	}
 }
 
@@ -217,7 +218,7 @@ func e16Kill(o Options, seed uint64, killAt sim.Time) e16KillResult {
 		}
 	})
 	w2.rt.Run()
-	res.replayed = kv2.Replayed
+	res.replayed = kv2.Counters().Replayed
 	return res
 }
 

@@ -17,6 +17,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/sim"
 	"chanos/internal/stats"
+	"chanos/internal/telemetry"
 )
 
 // Options tunes experiment scale.
@@ -25,6 +26,19 @@ type Options struct {
 	// Quick shrinks sweeps and windows so the whole suite runs in
 	// seconds (used by tests and -quick).
 	Quick bool
+	// SnapshotSink, when set, receives the telemetry snapshots the
+	// instrumented experiments (E15, E17) collect from their worlds —
+	// chanos-bench embeds the last one in BENCH_<id>.json so the CI
+	// artifact carries the machine's full metric state, not just the
+	// table cells cut from it.
+	SnapshotSink func(*telemetry.Snapshot)
+}
+
+// publishSnapshot hands a snapshot to the sink, if any.
+func (o Options) publishSnapshot(s *telemetry.Snapshot) {
+	if o.SnapshotSink != nil && s != nil {
+		o.SnapshotSink(s)
+	}
 }
 
 func (o Options) seed() uint64 {

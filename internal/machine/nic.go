@@ -59,10 +59,22 @@ type NIC struct {
 	rx          func(queue int, f Frame)
 	wire        func(f Frame)
 
-	// Stats.
-	TxFrames, RxFrames uint64
-	TxBytes, RxBytes   uint64
-	RxDrops            uint64
+	// qm is the per-queue metric set — the device-plane analogue of a
+	// kernel service's per-shard counters. The NIC runs in engine
+	// context, so there is no ownership question; keeping the counts
+	// per queue is what makes RSS imbalance and per-ring drop hot spots
+	// visible instead of averaged away. Fold with Counters().
+	qm []NICQueueCounters
+}
+
+// NICQueueCounters is one RX/TX queue pair's counter set (exported
+// uint64 fields, walkable by telemetry.EmitCounters / SumCounters).
+type NICQueueCounters struct {
+	TxFrames uint64 // frames serialised out of the TX queue
+	TxBytes  uint64
+	RxFrames uint64 // frames accepted into the RX ring
+	RxBytes  uint64
+	RxDrops  uint64 // frames dropped because the RX ring was full
 }
 
 // NewNIC attaches a NIC to machine m. Zero-valued fields take the
@@ -92,6 +104,7 @@ func NewNIC(m *Machine, p NICParams) *NIC {
 		P:           p,
 		txBusyUntil: make([]sim.Time, p.Queues),
 		rxOcc:       make([]int, p.Queues),
+		qm:          make([]NICQueueCounters, p.Queues),
 	}
 }
 
@@ -147,8 +160,8 @@ func (n *NIC) Transmit(f Frame) {
 	}
 	end := start + cost
 	n.txBusyUntil[f.Queue] = end
-	n.TxFrames++
-	n.TxBytes += uint64(f.Bytes)
+	n.qm[f.Queue].TxFrames++
+	n.qm[f.Queue].TxBytes += uint64(f.Bytes)
 	n.m.Eng.At(end, func() {
 		if n.wire != nil {
 			n.wire(f)
@@ -166,12 +179,12 @@ func (n *NIC) Arrive(f Frame) {
 		panic(fmt.Sprintf("machine: RX on invalid NIC queue %d", f.Queue))
 	}
 	if n.rxOcc[f.Queue] >= n.P.RxQueueDepth {
-		n.RxDrops++
+		n.qm[f.Queue].RxDrops++
 		return
 	}
 	n.rxOcc[f.Queue]++
-	n.RxFrames++
-	n.RxBytes += uint64(f.Bytes)
+	n.qm[f.Queue].RxFrames++
+	n.qm[f.Queue].RxBytes += uint64(f.Bytes)
 	n.m.Eng.After(n.P.RxDMACycles, func() {
 		if n.rx != nil {
 			n.rx(f.Queue, f)

@@ -1,0 +1,34 @@
+package machine
+
+import "chanos/internal/telemetry"
+
+// Counters folds every queue's counter set into one total — the view
+// the old flat NIC stats gave. Call between run slices or from statd's
+// engine-context collector.
+func (n *NIC) Counters() NICQueueCounters {
+	var out NICQueueCounters
+	for q := range n.qm {
+		telemetry.SumCounters(&out, &n.qm[q])
+	}
+	return out
+}
+
+// Shards implements telemetry.Source: one metric shard per RX/TX queue
+// pair, so a statd sweep sees per-ring drops and occupancy — the RSS
+// imbalance signal — not just machine totals.
+func (n *NIC) Shards() int { return n.P.Queues }
+
+// CollectShard implements telemetry.Source for queue q: its counters
+// plus the occupancy gauges. RxOccupancy is descriptors DMAed to the
+// host but not yet RxDone'd (the receive-livelock signal); TxBacklog
+// is how many cycles of serialisation are already committed on the TX
+// queue ahead of a frame submitted now.
+func (n *NIC) CollectShard(q int, emit func(telemetry.Value)) {
+	telemetry.EmitCounters(&n.qm[q], emit)
+	emit(telemetry.Gauge("RxOccupancy", uint64(n.rxOcc[q])))
+	var backlog uint64
+	if now := n.m.Eng.Now(); n.txBusyUntil[q] > now {
+		backlog = uint64(n.txBusyUntil[q] - now)
+	}
+	emit(telemetry.Gauge("TxBacklogCycles", backlog))
+}

@@ -33,8 +33,8 @@ func TestNICTxSerialises(t *testing.T) {
 	if queues[2] != 0 {
 		t.Fatalf("late frame came from queue %d, want 0", queues[2])
 	}
-	if nic.TxFrames != 3 || nic.TxBytes != 300 {
-		t.Fatalf("tx stats: %d frames, %d bytes", nic.TxFrames, nic.TxBytes)
+	if nic.Counters().TxFrames != 3 || nic.Counters().TxBytes != 300 {
+		t.Fatalf("tx stats: %d frames, %d bytes", nic.Counters().TxFrames, nic.Counters().TxBytes)
 	}
 }
 
@@ -53,8 +53,8 @@ func TestNICRxOverflowDrops(t *testing.T) {
 	if delivered != 4 {
 		t.Fatalf("delivered %d frames, want 4 (ring depth)", delivered)
 	}
-	if nic.RxDrops != 6 {
-		t.Fatalf("dropped %d frames, want 6", nic.RxDrops)
+	if nic.Counters().RxDrops != 6 {
+		t.Fatalf("dropped %d frames, want 6", nic.Counters().RxDrops)
 	}
 	if nic.RxOccupancy(0) != 4 {
 		t.Fatalf("occupancy %d, want 4", nic.RxOccupancy(0))

@@ -104,8 +104,8 @@ func TestLoopbackEcho(t *testing.T) {
 	if w.eng.Now() == 0 {
 		t.Fatal("no virtual time elapsed")
 	}
-	if w.st.Accepts != 1 || w.st.Delivered != 3 {
-		t.Fatalf("stack stats: accepts=%d delivered=%d", w.st.Accepts, w.st.Delivered)
+	if w.st.Counters().Accepts != 1 || w.st.Counters().Delivered != 3 {
+		t.Fatalf("stack stats: accepts=%d delivered=%d", w.st.Counters().Accepts, w.st.Counters().Delivered)
 	}
 }
 
@@ -119,7 +119,7 @@ func replayRun(seed uint64) [5]uint64 {
 		Port: 80, Clients: 24, ReqsPerConn: 3, ThinkCycles: 3000, Seed: seed,
 	})
 	w.rt.RunFor(2_000_000)
-	return [5]uint64{pool.Responses, pool.Completed, w.st.RxPackets, w.st.TxPackets, w.eng.Fired()}
+	return [5]uint64{pool.Responses, pool.Completed, w.st.Counters().RxPackets, w.st.Counters().TxPackets, w.eng.Fired()}
 }
 
 // TestDeterministicReplay: the whole distributed workload — wire jitter,
@@ -237,7 +237,7 @@ func TestLossRecovery(t *testing.T) {
 			t.Fatalf("order/duplication broken at %d: %v", i, got)
 		}
 	}
-	if w.st.Retransmits+w.nw.Retransmits == 0 {
+	if w.st.Counters().Retransmits+w.nw.Retransmits == 0 {
 		t.Fatal("15%% loss should have forced retransmissions")
 	}
 }
@@ -334,7 +334,7 @@ func TestSlowReaderShedsNotWedges(t *testing.T) {
 	})
 	w.rt.Run()
 
-	if w.st.RecvFull == 0 {
+	if w.st.Counters().RecvFull == 0 {
 		t.Fatal("tiny socket buffer never shed under a burst")
 	}
 	if len(slowGot) != n {
@@ -403,8 +403,8 @@ func TestReceiveWindowThrottles(t *testing.T) {
 	}
 	// Without windows the whole overflow retransmits every RTO until the
 	// reader catches up; with them, sheds are limited to probe overshoot.
-	if w.st.RecvFull >= n {
-		t.Fatalf("socket buffer shed %d packets; the window should have stopped the sender", w.st.RecvFull)
+	if w.st.Counters().RecvFull >= n {
+		t.Fatalf("socket buffer shed %d packets; the window should have stopped the sender", w.st.Counters().RecvFull)
 	}
 }
 
@@ -422,7 +422,7 @@ func TestAcceptBacklogSheds(t *testing.T) {
 		})
 	}
 	w.rt.Run()
-	if w.st.AcceptDrops == 0 {
+	if w.st.Counters().AcceptDrops == 0 {
 		t.Fatal("full backlog never shed a SYN")
 	}
 	if fails == 0 {

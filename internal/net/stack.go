@@ -112,6 +112,11 @@ type shardState struct {
 	conns      map[ConnID]*stackConn
 	closed     map[ConnID]closedRec
 	sweepArmed bool // an idle sweep is scheduled
+
+	// m is this shard's private metric set: incremented freely on the
+	// shard's handler thread, folded only when statd sweeps by (see
+	// internal/telemetry and net/telemetry.go).
+	m StackCounters
 }
 
 // Listener is a port bound to an accept channel: accepting a connection
@@ -185,13 +190,11 @@ type Stack struct {
 
 	listeners map[int]*Listener
 
-	// Stats.
-	Accepts, AcceptDrops uint64
-	RxPackets, TxPackets uint64
-	Delivered            uint64 // payloads handed to sockets
-	RecvFull             uint64 // packets shed because a socket buffer was full
-	Retransmits, GaveUp  uint64
-	IdleReaped           uint64 // silent connections reaped by the idle sweep
+	// states indexes each shard's private state for telemetry sweeps;
+	// populated eagerly while RegisterEach builds the handlers. Only the
+	// metric fields are read from outside the owning shard thread, and
+	// only between run slices or from statd's engine-context collector.
+	states []*shardState
 }
 
 // NewStack registers the "net" service on k's kernel cores and claims
@@ -246,6 +249,10 @@ func (s *Stack) shardHandler(shard int) kernel.Handler {
 		conns:  make(map[ConnID]*stackConn),
 		closed: make(map[ConnID]closedRec),
 	}
+	for len(s.states) <= shard {
+		s.states = append(s.states, nil)
+	}
+	s.states[shard] = st
 	return func(t *core.Thread, req kernel.Request) core.Msg {
 		switch req.Op {
 		case "rx":
@@ -259,14 +266,14 @@ func (s *Stack) shardHandler(shard int) kernel.Handler {
 			if c == nil || c.finSent {
 				return nil // connection gone: data silently dropped
 			}
-			s.sendSeq(t, c, Packet{Conn: c.id, Port: c.port, Flags: DATA, Bytes: a.Bytes, Payload: a.Payload})
+			s.sendSeq(t, st, c, Packet{Conn: c.id, Port: c.port, Flags: DATA, Bytes: a.Bytes, Payload: a.Payload})
 		case "close":
 			c := st.conns[ConnID(req.Key)]
 			if c == nil || c.finSent {
 				return nil
 			}
 			c.finSent = true
-			s.sendSeq(t, c, Packet{Conn: c.id, Port: c.port, Flags: FIN})
+			s.sendSeq(t, st, c, Packet{Conn: c.id, Port: c.port, Flags: FIN})
 		case "rto":
 			s.rto(t, st, ConnID(req.Key))
 		case "sweep":
@@ -308,7 +315,7 @@ func (s *Stack) sweep(t *core.Thread, st *shardState) {
 		if now-c.lastRx <= s.P.IdleCycles {
 			continue
 		}
-		s.IdleReaped++
+		st.m.IdleReaped++
 		s.clearRTO(c)
 		if !c.finRcvd {
 			c.recvCh.Close(t)
@@ -320,14 +327,14 @@ func (s *Stack) sweep(t *core.Thread, st *shardState) {
 
 // rx processes one received packet on its owning shard.
 func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
-	s.RxPackets++
+	st.m.RxPackets++
 	switch {
 	case p.Flags&SYN != 0:
 		if c := st.conns[p.Conn]; c != nil {
 			// Duplicate SYN: our SYNACK was lost or is in flight. The
 			// retry proves the peer is alive — keep the idle sweep away.
 			c.lastRx = s.rt.Eng.Now()
-			s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
+			s.transmit(t, st, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
 			return
 		}
 		if rec, was := st.closed[p.Conn]; was {
@@ -350,12 +357,12 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		}
 		conn := &Conn{id: p.Conn, port: p.Port, stack: s, recv: c.recvCh}
 		if !l.accept.TrySend(t, conn) {
-			s.AcceptDrops++ // backlog full: shed; the client will retry
+			st.m.AcceptDrops++ // backlog full: shed; the client will retry
 			return
 		}
 		st.conns[p.Conn] = c
-		s.Accepts++
-		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
+		st.m.Accepts++
+		s.transmit(t, st, Packet{Conn: c.id, Port: c.port, Flags: SYNACK, Window: s.advWindow(c)})
 		s.ensureSweep(t, st)
 
 	case p.Flags&ACK != 0:
@@ -368,7 +375,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		c.snd.setWindow(p.Window, p.Ack)
 		outstanding := c.snd.ack(p.Ack)
 		for _, q := range c.snd.drain() {
-			s.transmit(t, q) // the peer's window reopened: release queued data
+			s.transmit(t, st, q) // the peer's window reopened: release queued data
 		}
 		if len(c.snd.pending()) > 0 {
 			s.armRTO(t, c)
@@ -392,7 +399,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 				// uncleanly retired connection (idle-reaped, gave up)
 				// must stay silent: acking would claim delivery of data
 				// that was dropped.
-				s.transmit(t, Packet{Conn: p.Conn, Port: p.Port, Flags: ACK, Ack: p.Seq, Window: defaultWindow})
+				s.transmit(t, st, Packet{Conn: p.Conn, Port: p.Port, Flags: ACK, Ack: p.Seq, Window: defaultWindow})
 			}
 			return
 		}
@@ -406,7 +413,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 					s.retire(st, c, true)
 				}
 			} else if c.recvCh.TrySend(t, q.Payload) {
-				s.Delivered++
+				st.m.Delivered++
 			} else {
 				// Socket buffer full. Never block the shard on one
 				// connection's slow reader (the app thread might itself
@@ -414,7 +421,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 				// deadlock): shed the rest of the run unacknowledged and
 				// let the peer's retransmission redeliver it.
 				c.rcv.unaccept(run[i:])
-				s.RecvFull += uint64(len(run) - i)
+				st.m.RecvFull += uint64(len(run) - i)
 				break
 			}
 		}
@@ -422,7 +429,7 @@ func (s *Stack) rx(t *core.Thread, st *shardState, p Packet) {
 		// whose ack was lost stops retransmitting. The advertised window
 		// tells the peer how much more the socket buffer can take: 0
 		// throttles it to probes instead of a retransmit storm.
-		s.transmit(t, Packet{Conn: c.id, Port: c.port, Flags: ACK, Ack: c.rcv.cumAck(), Window: s.advWindow(c)})
+		s.transmit(t, st, Packet{Conn: c.id, Port: c.port, Flags: ACK, Ack: c.rcv.cumAck(), Window: s.advWindow(c)})
 	}
 }
 
@@ -465,9 +472,17 @@ func (s *Stack) retire(st *shardState, c *stackConn, clean bool) {
 // sendSeq submits a sequenced packet: whatever the peer's window admits
 // goes on the wire now (tracked for retransmission), the rest queues
 // until acks reopen the window.
-func (s *Stack) sendSeq(t *core.Thread, c *stackConn, p Packet) {
+func (s *Stack) sendSeq(t *core.Thread, st *shardState, c *stackConn, p Packet) {
+	wasQueued := len(c.snd.queued)
 	for _, q := range c.snd.submit(p) {
-		s.transmit(t, q)
+		s.transmit(t, st, q)
+	}
+	if len(c.snd.queued) > wasQueued {
+		// The peer's advertised window blocked this submission: the
+		// packet waits for an ack to reopen it. Counted per stalled
+		// submission, so the rate tracks how often senders outrun
+		// receivers.
+		st.m.WindowStalls++
 	}
 	if len(c.snd.pending()) > 0 {
 		s.armRTO(t, c)
@@ -476,9 +491,9 @@ func (s *Stack) sendSeq(t *core.Thread, c *stackConn, p Packet) {
 
 // transmit pays the descriptor cost and hands the packet to this core's
 // TX queue.
-func (s *Stack) transmit(t *core.Thread, p Packet) {
+func (s *Stack) transmit(t *core.Thread, st *shardState, p Packet) {
 	t.Compute(s.nic.P.TxDMACycles)
-	s.TxPackets++
+	st.m.TxPackets++
 	s.nic.Transmit(machine.Frame{
 		Queue:   t.Core() % s.nic.Queues(),
 		Bytes:   p.MsgBytes(),
@@ -519,7 +534,7 @@ func (s *Stack) rto(t *core.Thread, st *shardState, id ConnID) {
 		return
 	}
 	if c.retries >= s.P.MaxRetries {
-		s.GaveUp++
+		st.m.GaveUp++
 		if !c.finRcvd {
 			c.recvCh.Close(t)
 		}
@@ -528,8 +543,8 @@ func (s *Stack) rto(t *core.Thread, st *shardState, id ConnID) {
 	}
 	c.retries++
 	for _, p := range pend {
-		s.transmit(t, p)
-		s.Retransmits++
+		s.transmit(t, st, p)
+		st.m.Retransmits++
 	}
 	s.armRTO(t, c)
 }

@@ -53,8 +53,17 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
-// Percentile returns an upper bound for the p-th percentile (p in [0,100])
-// at bucket resolution: the top of the bucket containing that rank.
+// Percentile estimates the p-th percentile (p in [0,100]) by locating
+// the bucket containing that rank and interpolating linearly between
+// the bucket's bounds by the rank's position within it. The former
+// implementation returned the bucket's upper bound, which quantised
+// every percentile to a power of two minus one — a reported "p99" of
+// 1023 cycles covered true values anywhere in [512, 1023], and small
+// real regressions vanished until they crossed a bucket edge. The
+// interpolated estimate is still bucket-limited (the true in-bucket
+// distribution is unknown) but is monotone in p, exact at p100 (the
+// recorded max), and moves when the rank moves. Experiment tables
+// carry a note where the change shifts reported numbers.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.n == 0 {
 		return 0
@@ -65,20 +74,42 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	if p > 100 {
 		p = 100
 	}
-	rank := uint64(p / 100 * float64(h.n-1))
-	var seen uint64
+	rank := p / 100 * float64(h.n-1)
+	var seen float64
 	for b, c := range h.counts {
-		seen += c
-		if c > 0 && seen > rank {
-			if b == 0 {
-				return 0
-			}
-			upper := uint64(1)<<b - 1
-			if upper > h.max {
-				upper = h.max
-			}
+		if c == 0 {
+			continue
+		}
+		before := seen
+		seen += float64(c)
+		if seen <= rank {
+			continue
+		}
+		if b == 0 {
+			return 0 // the zero-sample bucket
+		}
+		lower := uint64(1) << (b - 1)
+		upper := uint64(1)<<b - 1
+		if upper > h.max {
+			upper = h.max
+		}
+		if lower < h.min {
+			lower = h.min
+		}
+		if lower >= upper {
 			return upper
 		}
+		// Position of the rank among this bucket's c samples. With one
+		// sample there is nothing to interpolate between; the upper
+		// bound keeps p100-through-a-single-sample-bucket exact.
+		frac := 1.0
+		if c > 1 {
+			frac = (rank - before) / float64(c-1)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		return lower + uint64(frac*float64(upper-lower)+0.5)
 	}
 	return h.max
 }

@@ -41,6 +41,30 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+// The interpolated percentile must do far better than bucket-upper
+// quantisation: for a uniform 1..1000 sample the p50 estimate should
+// land near 500, not snap to 511 or 1023.
+func TestHistogramPercentileInterpolates(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if p50 := h.Percentile(50); p50 < 450 || p50 > 550 {
+		t.Fatalf("p50 = %d, want ~500 (interpolated within the [512,1023) bucket boundary)", p50)
+	}
+	if p99 := h.Percentile(99); p99 < 940 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want ~990", p99)
+	}
+	// A single-sample histogram reports that sample at every percentile.
+	var one Histogram
+	one.Add(777)
+	for _, p := range []float64{0, 50, 100} {
+		if v := one.Percentile(p); v != 777 {
+			t.Fatalf("single-sample p%.0f = %d, want 777", p, v)
+		}
+	}
+}
+
 func TestHistogramEmptySafe(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {

@@ -90,12 +90,12 @@ func (sh *shard) maybeCompact(t *core.Thread) {
 	}
 	usable := p.Disk.BlockSize - blockHeader
 	if sh.liveBytes > (p.LogBlocks-1)*usable*7/8 {
-		sh.s.CompactionsSkipped++ // would not fit: per-block padding plus mid-sweep fresh writes need the margin
+		sh.m.CompactionsSkipped++ // would not fit: per-block padding plus mid-sweep fresh writes need the margin
 		return
 	}
 	usedBytes := (usedBlocks-1)*p.Disk.BlockSize + len(sh.open)
 	if usedBytes-sh.liveBytes < p.LogBlocks*p.Disk.BlockSize/8 {
-		sh.s.CompactionsSkipped++ // nothing worth reclaiming yet
+		sh.m.CompactionsSkipped++ // nothing worth reclaiming yet
 		return
 	}
 	sh.startCompaction(t)
@@ -105,7 +105,8 @@ func (sh *shard) maybeCompact(t *core.Thread) {
 // under the old epoch), snapshots the key set, and moves the append
 // cursor to the start of the target region.
 func (sh *shard) startCompaction(t *core.Thread) {
-	sh.s.CompactionsStarted++
+	sh.m.CompactionsStarted++
+	sh.m.flight.Record(sh.now(), "compact-start", "", sh.epoch, uint64(sh.liveBytes))
 	if len(sh.open) > blockHeader {
 		sh.flush(t, true) // seal: cache insert rides the completion
 	}
@@ -126,7 +127,8 @@ func (sh *shard) startCompaction(t *core.Thread) {
 // the sweep re-copies whatever still points into the old region.
 // srcUsedBytes is what replay found occupied in the old region.
 func (sh *shard) resumeCompaction(t *core.Thread, srcUsedBytes int) {
-	sh.s.CompactionsStarted++
+	sh.m.CompactionsStarted++
+	sh.m.flight.Record(sh.now(), "compact-resume", "", sh.epoch, uint64(srcUsedBytes))
 	sh.comp = &compaction{
 		keys:         sortedKeys(sh.idx),
 		src:          sh.s.region(sh.epoch),
@@ -180,8 +182,8 @@ func (sh *shard) compactStep(t *core.Thread) {
 				return
 			}
 			sh.idx[k] = loc{block: sh.openBlock, ver: l.ver, dead: true}
-			sh.s.CompactedRecords++
-			sh.s.CompactedBytes += uint64(recHeader + len(k))
+			sh.m.CompactedRecords++
+			sh.m.CompactedBytes += uint64(recHeader + len(k))
 			c.next++
 			done++
 			continue
@@ -200,8 +202,8 @@ func (sh *shard) compactStep(t *core.Thread) {
 			return
 		}
 		sh.idx[k] = loc{block: sh.openBlock, off: len(sh.open) - len(val), vlen: l.vlen, ver: l.ver}
-		sh.s.CompactedRecords++
-		sh.s.CompactedBytes += uint64(recHeader + len(k) + len(val))
+		sh.m.CompactedRecords++
+		sh.m.CompactedBytes += uint64(recHeader + len(k) + len(val))
 		c.next++
 		done++
 	}
@@ -231,13 +233,13 @@ func (sh *shard) maybeCommitEpoch(t *core.Thread) {
 		return
 	}
 	c.sbIssued = true
-	s, svc, id, from := sh.s, sh.s.svc, sh.id, t.Core()
+	svc, id, from := sh.s.svc, sh.id, t.Core()
 	rt := sh.s.rt
 	sh.disk.Program(t, blockdev.Request{
 		Op: blockdev.Write, Block: 0, Data: encSuper(sh.epoch + 1),
 	}, func(res blockdev.Result) {
 		if res.OK {
-			s.EpochWritesDurable++
+			sh.m.EpochWritesDurable++
 		}
 		rt.InjectSend(svc.Shard(id), kernel.Request{
 			Op: "epochdone", Key: id,
@@ -263,7 +265,8 @@ func (sh *shard) epochDone(t *core.Thread, d flushDone) {
 	retired := sh.s.region(sh.epoch)
 	sh.epoch++
 	sh.comp = nil
-	sh.s.CompactionsDone++
+	sh.m.CompactionsDone++
+	sh.m.flight.Record(sh.now(), "epoch", "", sh.epoch, 0)
 	sh.cache.dropRange(retired.Start, retired.End())
 	sh.disk.Trim(retired.Start, retired.Blocks)
 	// Replica reads parked on locs in the retired region re-resolve

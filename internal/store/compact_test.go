@@ -90,15 +90,15 @@ func TestChurnCompactsAndNeverRefusesWrites(t *testing.T) {
 	if !done {
 		t.Fatal("churn thread never finished")
 	}
-	if w.kv.LogFull != 0 {
-		t.Fatalf("writes were refused: LogFull = %d", w.kv.LogFull)
+	if w.kv.Counters().LogFull != 0 {
+		t.Fatalf("writes were refused: LogFull = %d", w.kv.Counters().LogFull)
 	}
-	if w.kv.CompactionsDone < 2 {
-		t.Fatalf("churn of 8x region capacity ran only %d compactions", w.kv.CompactionsDone)
+	if w.kv.Counters().CompactionsDone < 2 {
+		t.Fatalf("churn of 8x region capacity ran only %d compactions", w.kv.Counters().CompactionsDone)
 	}
-	if w.kv.CompactedRecords == 0 || w.kv.EpochWritesDurable != w.kv.CompactionsDone {
+	if w.kv.Counters().CompactedRecords == 0 || w.kv.Counters().EpochWritesDurable != w.kv.Counters().CompactionsDone {
 		t.Fatalf("compaction accounting: %d records, %d epoch writes, %d done",
-			w.kv.CompactedRecords, w.kv.EpochWritesDurable, w.kv.CompactionsDone)
+			w.kv.Counters().CompactedRecords, w.kv.Counters().EpochWritesDurable, w.kv.Counters().CompactionsDone)
 	}
 	if lr := w.kv.LiveRatio(); lr <= 0 || lr > 1 {
 		t.Fatalf("live ratio out of range: %f", lr)
@@ -135,11 +135,11 @@ func TestLargeLiveSetStillCompacts(t *testing.T) {
 	if !done {
 		t.Fatal("churn thread never finished")
 	}
-	if w.kv.LogFull != 0 {
-		t.Fatalf("writes were refused: LogFull = %d", w.kv.LogFull)
+	if w.kv.Counters().LogFull != 0 {
+		t.Fatalf("writes were refused: LogFull = %d", w.kv.Counters().LogFull)
 	}
-	if w.kv.CompactionsDone < 2 {
-		t.Fatalf("half-live region compacted only %d times", w.kv.CompactionsDone)
+	if w.kv.Counters().CompactionsDone < 2 {
+		t.Fatalf("half-live region compacted only %d times", w.kv.Counters().CompactionsDone)
 	}
 }
 
@@ -167,8 +167,8 @@ func churnDigest(seed uint64) [8]uint64 {
 	}
 	w.rt.Run()
 	return [8]uint64{
-		w.kv.Puts, w.kv.AckedWrites, w.kv.CacheHits, w.kv.FlushesDone,
-		w.kv.CompactionsDone, w.kv.CompactedRecords, w.kv.LogFull, w.eng.Fired(),
+		w.kv.Counters().Puts, w.kv.Counters().AckedWrites, w.kv.Counters().CacheHits, w.kv.Counters().FlushesDone,
+		w.kv.Counters().CompactionsDone, w.kv.Counters().CompactedRecords, w.kv.Counters().LogFull, w.eng.Fired(),
 	}
 }
 

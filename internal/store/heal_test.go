@@ -145,11 +145,11 @@ func TestAttachReplicaHealsLiveStore(t *testing.T) {
 	if !w2.kv.ReplCaughtUp() {
 		t.Fatal("Lifecycle says quorum but ReplCaughtUp disagrees")
 	}
-	if w2.kv.ReplSyncs == 0 || w2.kv.ReplSyncRecords == 0 {
-		t.Fatalf("no bootstrap sweep ran: syncs=%d records=%d", w2.kv.ReplSyncs, w2.kv.ReplSyncRecords)
+	if w2.kv.Counters().ReplSyncs == 0 || w2.kv.Counters().ReplSyncRecords == 0 {
+		t.Fatalf("no bootstrap sweep ran: syncs=%d records=%d", w2.kv.Counters().ReplSyncs, w2.kv.Counters().ReplSyncRecords)
 	}
-	if w2.kv.ReplHeals != uint64(p.Shards) {
-		t.Fatalf("ReplHeals = %d, want %d (every shard heals once)", w2.kv.ReplHeals, p.Shards)
+	if w2.kv.Counters().ReplHeals != uint64(p.Shards) {
+		t.Fatalf("ReplHeals = %d, want %d (every shard heals once)", w2.kv.Counters().ReplHeals, p.Shards)
 	}
 
 	// More writes under the healed quorum, then the primary dies.
@@ -220,14 +220,14 @@ func TestReplicaLossDuringSyncDetaches(t *testing.T) {
 	defer rm1.Shutdown()
 	rm1.KV.Disks()[0].InjectWriteFailures(1)
 	w2.kv.AttachReplica(rm1)
-	for step := 0; step < 2000 && w2.kv.ReplDetached == 0; step++ {
+	for step := 0; step < 2000 && w2.kv.Counters().ReplDetached == 0; step++ {
 		w2.rt.RunFor(10_000)
 	}
-	if w2.kv.ReplDetached != 1 {
-		t.Fatalf("ReplDetached = %d, want 1", w2.kv.ReplDetached)
+	if w2.kv.Counters().ReplDetached != 1 {
+		t.Fatalf("ReplDetached = %d, want 1", w2.kv.Counters().ReplDetached)
 	}
-	if w2.kv.FailedShards != 0 {
-		t.Fatalf("primary fail-stopped on a pre-quorum replica loss: FailedShards = %d", w2.kv.FailedShards)
+	if w2.kv.Counters().FailedShards != 0 {
+		t.Fatalf("primary fail-stopped on a pre-quorum replica loss: FailedShards = %d", w2.kv.Counters().FailedShards)
 	}
 	if got := w2.kv.Lifecycle(); got != LifecycleFailedOver {
 		t.Fatalf("detached store Lifecycle = %q, want %q", got, LifecycleFailedOver)
@@ -315,8 +315,8 @@ func TestHealRearmsFailStop(t *testing.T) {
 	if r.OK || r.Err == "" {
 		t.Errorf("write acked without a live quorum after heal: %+v", r)
 	}
-	if w2.kv.FailedShards != 1 {
-		t.Fatalf("primary FailedShards = %d, want 1 (fail-stop must re-arm after heal)", w2.kv.FailedShards)
+	if w2.kv.Counters().FailedShards != 1 {
+		t.Fatalf("primary FailedShards = %d, want 1 (fail-stop must re-arm after heal)", w2.kv.Counters().FailedShards)
 	}
 }
 
@@ -342,7 +342,7 @@ func TestReplicaReadLagAndDurabilityGates(t *testing.T) {
 	})
 	w.rt.RunFor(600_000) // advert (25 µs) + wire, well before the flush
 
-	if w.kv.ReplAdverts == 0 {
+	if w.kv.Counters().ReplAdverts == 0 {
 		t.Fatal("no tail advertisement shipped ahead of the flush")
 	}
 	lagged := false
@@ -357,8 +357,8 @@ func TestReplicaReadLagAndDurabilityGates(t *testing.T) {
 	if !lagged {
 		t.Fatal("lag reader never ran")
 	}
-	if w.rm.KV.ReplicaLagged == 0 {
-		t.Fatal("ReplicaLagged not counted")
+	if w.rm.KV.Counters().RefusedLag == 0 {
+		t.Fatal("RefusedLag not counted")
 	}
 
 	// Let the primary flush and the batch apply — but read before the
@@ -381,7 +381,7 @@ func TestReplicaReadLagAndDurabilityGates(t *testing.T) {
 	if !got.Found || string(got.Val) != "v" || got.Ver != 1 {
 		t.Errorf("drained replica read = %+v, want v ver 1", got)
 	}
-	if w.rm.KV.ReplicaWaits == 0 {
+	if w.rm.KV.Counters().ReplicaWaits == 0 {
 		t.Fatal("ReplicaWaits not counted: the durability park never happened")
 	}
 }

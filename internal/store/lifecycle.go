@@ -117,7 +117,10 @@ func (s *Store) AttachReplica(rm *ReplicaMachine) {
 		panic("store: a replica is already attached (one attachment at a time)")
 	}
 	s.replica = rm
-	s.ReplAttaches++
+	// The attach is a store-level control action; its count lives with
+	// shard 0's metric set (RegisterEach built every shard before New
+	// returned, so the slot is always populated).
+	s.shards[0].m.ReplAttaches++
 	for i := range s.shards {
 		r := s.dialReplica(rm, i)
 		s.rt.InjectSend(s.svc.Shard(i), kernel.Request{Op: "replattach", Key: i, Arg: replAttach{r: r}}, 0)
@@ -133,6 +136,7 @@ func (sh *shard) replAttachIn(t *core.Thread, m replAttach) {
 		return
 	}
 	sh.repl = m.r
+	sh.m.flight.Record(sh.now(), "attach", "", uint64(len(sh.idx)), 0)
 	if len(sh.idx) == 0 {
 		// Nothing to bootstrap: the image is (vacuously) complete and
 		// acknowledged, so the attachment starts at quorum — every write
@@ -164,12 +168,12 @@ func (sh *shard) replLost(t *core.Thread, err string) {
 		return
 	}
 	sh.repl = nil
-	sh.s.ReplDetached++
+	sh.m.ReplDetached++
+	sh.m.flight.Record(sh.now(), "detach", err, 0, 0)
 	for _, pw := range sh.replWait {
-		if pw.reply != nil {
-			sh.s.AckedWrites++
-			pw.reply.Send(t, pw.res)
-		}
+		// Released at local durability — exactly the SYNCING contract —
+		// so these are AckedLocal terminals.
+		sh.ackLocal(t, pw)
 	}
 	sh.replWait = nil
 	// Last shard out drops the store-level attachment: Replicated()

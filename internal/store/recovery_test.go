@@ -87,9 +87,9 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 	for step := 0; step < 200_000; step++ {
 		rt.RunFor(500)
 		if ackedCount >= 20 &&
-			kv.FlushesStarted > kv.FlushesDone &&
-			committed() == kv.FlushesDone+kv.EpochWritesDurable &&
-			ackedCount == kv.AckedWrites &&
+			kv.Counters().FlushesStarted > kv.Counters().FlushesDone &&
+			committed() == kv.Counters().FlushesDone+kv.Counters().EpochWritesDurable &&
+			ackedCount == kv.Counters().AckedWrites &&
 			issuedCount > ackedCount {
 			found = true
 			break
@@ -158,14 +158,14 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 	if !checked {
 		t.Fatal("auditor never finished")
 	}
-	if kv2.Replayed == 0 {
+	if kv2.Counters().Replayed == 0 {
 		t.Fatal("recovery replayed nothing")
 	}
 	if lostUnacked == 0 {
 		t.Fatal("crash should have cost at least one unacknowledged PUT")
 	}
 	t.Logf("crash at %d acked / %d issued, %d in flight; recovery replayed %d records, %d unacked writes lost",
-		ackedCount, issuedCount, unackedAtCrash, kv2.Replayed, lostUnacked)
+		ackedCount, issuedCount, unackedAtCrash, kv2.Counters().Replayed, lostUnacked)
 }
 
 // TestCrashMidCompactionRecovery is the same durability contract, cut
@@ -235,9 +235,9 @@ func TestCrashMidCompactionRecovery(t *testing.T) {
 	found := false
 	for step := 0; step < 400_000 && !found; step++ {
 		rt.RunFor(500)
-		if !(kv.CompactionsStarted == 1 && kv.CompactionsDone == 0 &&
-			committed() == kv.FlushesDone+kv.EpochWritesDurable &&
-			ackedCount == kv.AckedWrites &&
+		if !(kv.Counters().CompactionsStarted == 1 && kv.Counters().CompactionsDone == 0 &&
+			committed() == kv.Counters().FlushesDone+kv.Counters().EpochWritesDurable &&
+			ackedCount == kv.Counters().AckedWrites &&
 			issuedCount > ackedCount) {
 			continue
 		}
@@ -308,18 +308,18 @@ func TestCrashMidCompactionRecovery(t *testing.T) {
 	if !checked {
 		t.Fatal("auditor never finished")
 	}
-	if kv2.Replayed == 0 {
+	if kv2.Counters().Replayed == 0 {
 		t.Fatal("recovery replayed nothing")
 	}
-	if kv2.CompactionsStarted == 0 {
+	if kv2.Counters().CompactionsStarted == 0 {
 		t.Fatal("recovery did not resume the interrupted compaction")
 	}
-	if kv2.CompactionsDone == 0 {
+	if kv2.Counters().CompactionsDone == 0 {
 		t.Fatal("resumed compaction never committed its epoch")
 	}
-	if kv2.LogFull != 0 {
-		t.Fatalf("post-recovery writes refused: LogFull = %d", kv2.LogFull)
+	if kv2.Counters().LogFull != 0 {
+		t.Fatalf("post-recovery writes refused: LogFull = %d", kv2.Counters().LogFull)
 	}
 	t.Logf("crash at %d acked / %d issued, %d in flight; replayed %d, resumed %d compactions (%d committed)",
-		ackedCount, issuedCount, unackedAtCrash, kv2.Replayed, kv2.CompactionsStarted, kv2.CompactionsDone)
+		ackedCount, issuedCount, unackedAtCrash, kv2.Counters().Replayed, kv2.Counters().CompactionsStarted, kv2.Counters().CompactionsDone)
 }

@@ -395,7 +395,7 @@ func (sh *shard) replAdvert(t *core.Thread, m replAdvertMsg) {
 	if len(r.out) == 0 {
 		return // the flush shipped (and advertised) the tail already
 	}
-	sh.s.ReplAdverts++
+	sh.m.ReplAdverts++
 	sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
 	sh.armAdvert(t) // keep advertising while records remain unshipped
 }
@@ -424,8 +424,9 @@ func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
 	if b.Seq > r.lastShip {
 		r.lastShip = b.Seq
 	}
-	sh.s.ReplBatches++
-	sh.s.ReplRecords += uint64(len(b.Recs))
+	sh.m.ReplBatches++
+	sh.m.ReplRecords += uint64(len(b.Recs))
+	sh.m.flight.Record(sh.now(), "repl-ship", "", b.Seq, uint64(len(b.Recs)))
 	t.Compute(replTxCycles + uint64(b.WireBytes())>>3)
 	if !r.open {
 		r.queued = append(r.queued, b)
@@ -464,7 +465,8 @@ func (sh *shard) replAckIn(t *core.Thread, m replAckMsg) {
 	if sh.failed != "" {
 		return
 	}
-	sh.s.ReplAcks++
+	sh.m.ReplAcks++
+	sh.m.flight.Record(sh.now(), "repl-ack", "", m.a.Seq, 0)
 	if m.a.Seq > r.ackedSeq {
 		r.ackedSeq = m.a.Seq
 	}
@@ -481,7 +483,8 @@ func (sh *shard) maybeQuorum(t *core.Thread) {
 		return
 	}
 	r.quorum = true
-	sh.s.ReplHeals++
+	sh.m.ReplHeals++
+	sh.m.flight.Record(sh.now(), "quorum", "", r.syncEndSeq, 0)
 }
 
 // drainQuorum releases acks whose writes are durable on BOTH machines:
@@ -492,8 +495,10 @@ func (sh *shard) drainQuorum(t *core.Thread) {
 	for len(sh.replWait) > 0 && sh.replWait[0].seq <= r.ackedSeq {
 		pw := sh.replWait[0]
 		sh.replWait = sh.replWait[1:]
+		sh.m.AckedWrites++
+		sh.m.AckedQuorum++
+		sh.m.writesInFlight--
 		if pw.reply != nil {
-			sh.s.AckedWrites++
 			pw.reply.Send(t, pw.res)
 		}
 	}
@@ -533,7 +538,8 @@ func (sh *shard) maybeStartReplSync(t *core.Thread) {
 	if r == nil || r.synced || r.sync != nil || sh.comp != nil || sh.failed != "" {
 		return
 	}
-	sh.s.ReplSyncs++
+	sh.m.ReplSyncs++
+	sh.m.flight.Record(sh.now(), "sync-start", "", uint64(len(sh.idx)), 0)
 	r.sync = &replSync{keys: sortedKeys(sh.idx), waitBlock: -1}
 	sh.scheduleReplSync(t)
 }
@@ -574,7 +580,7 @@ func (sh *shard) replSyncStep(t *core.Thread) {
 		if len(recs) == 0 {
 			return
 		}
-		sh.s.ReplSyncRecords += uint64(len(recs))
+		sh.m.ReplSyncRecords += uint64(len(recs))
 		sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: recs})
 		recs = nil
 	}
@@ -672,7 +678,7 @@ func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.M
 	for _, rec := range b.Recs {
 		cur, ok := sh.idx[rec.Key]
 		if ok && cur.ver >= rec.Ver {
-			sh.s.ReplStale++
+			sh.m.ReplStale++
 			continue
 		}
 		if recHeader+len(rec.Key)+len(rec.Val)+1+blockHeader > sh.s.P.Disk.BlockSize {
@@ -684,7 +690,7 @@ func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.M
 			return ReplAck{Shard: sh.id, Seq: b.Seq, Err: sh.failed}
 		}
 		sh.applyRecord(rec.Op, rec.Key, len(rec.Val), rec.Ver, b.Seq)
-		sh.s.ReplApplied++
+		sh.m.ReplApplied++
 		appended = true
 	}
 	if b.Seq > sh.replApplied {

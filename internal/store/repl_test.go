@@ -74,14 +74,14 @@ func TestQuorumReplicationMirrorsState(t *testing.T) {
 	if !done {
 		t.Fatal("app thread never finished (a quorum ack never arrived)")
 	}
-	if w.kv.ReplBatches == 0 || w.kv.ReplAcks == 0 {
-		t.Fatalf("no replication traffic: batches=%d acks=%d", w.kv.ReplBatches, w.kv.ReplAcks)
+	if w.kv.Counters().ReplBatches == 0 || w.kv.Counters().ReplAcks == 0 {
+		t.Fatalf("no replication traffic: batches=%d acks=%d", w.kv.Counters().ReplBatches, w.kv.Counters().ReplAcks)
 	}
-	if w.rm.KV.ReplApplied == 0 {
+	if w.rm.KV.Counters().ReplApplied == 0 {
 		t.Fatal("replica applied nothing")
 	}
-	if w.rm.KV.AckedWrites != 0 {
-		t.Fatalf("replica-side applies counted as client acks: %d", w.rm.KV.AckedWrites)
+	if w.rm.KV.Counters().AckedWrites != 0 {
+		t.Fatalf("replica-side applies counted as client acks: %d", w.rm.KV.Counters().AckedWrites)
 	}
 	// Audit the replica's own store: same keys, same versions.
 	checked := false
@@ -188,7 +188,7 @@ func TestFailoverAckedWritesSurvivePrimaryKill(t *testing.T) {
 	if !checked {
 		t.Fatal("auditor never finished")
 	}
-	if kv2.Replayed == 0 {
+	if kv2.Counters().Replayed == 0 {
 		t.Fatal("failover recovery replayed nothing")
 	}
 }
@@ -246,8 +246,8 @@ func TestReplBootstrapSyncShipsCompactedImage(t *testing.T) {
 	if !caught {
 		t.Fatal("replica never caught up with the bootstrap image")
 	}
-	if kv.ReplSyncs == 0 || kv.ReplSyncRecords == 0 {
-		t.Fatalf("no bootstrap sweep ran: syncs=%d records=%d", kv.ReplSyncs, kv.ReplSyncRecords)
+	if kv.Counters().ReplSyncs == 0 || kv.Counters().ReplSyncRecords == 0 {
+		t.Fatalf("no bootstrap sweep ran: syncs=%d records=%d", kv.Counters().ReplSyncs, kv.Counters().ReplSyncRecords)
 	}
 
 	// Kill the primary; fail over to the replica's platters.
@@ -364,14 +364,14 @@ func TestCompactionPausesBootstrapSync(t *testing.T) {
 	if !churnDone {
 		t.Fatal("churn writes never completed")
 	}
-	if kv.LogFull != 0 {
-		t.Fatalf("writes refused during bootstrap sync: LogFull = %d", kv.LogFull)
+	if kv.Counters().LogFull != 0 {
+		t.Fatalf("writes refused during bootstrap sync: LogFull = %d", kv.Counters().LogFull)
 	}
-	if kv.CompactionsStarted == 0 {
+	if kv.Counters().CompactionsStarted == 0 {
 		t.Fatal("churn never triggered a compaction — the pause path was not exercised")
 	}
-	if kv.ReplSyncs != 1 {
-		t.Fatalf("the paused sync restarted instead of resuming: ReplSyncs = %d", kv.ReplSyncs)
+	if kv.Counters().ReplSyncs != 1 {
+		t.Fatalf("the paused sync restarted instead of resuming: ReplSyncs = %d", kv.Counters().ReplSyncs)
 	}
 	if !caught {
 		t.Fatal("paused sync never completed the bootstrap image")
@@ -401,10 +401,10 @@ func TestFailStopDrainsBlockedClients(t *testing.T) {
 	})
 	// Step until the first write is locally durable (its flush interrupt
 	// processed) — it is now parked in replWait awaiting the replica.
-	for step := 0; step < 1000 && w.kv.FlushesDone == 0; step++ {
+	for step := 0; step < 1000 && w.kv.Counters().FlushesDone == 0; step++ {
 		w.rt.RunFor(10_000)
 	}
-	if w.kv.FlushesDone == 0 {
+	if w.kv.Counters().FlushesDone == 0 {
 		t.Fatal("first write never became locally durable")
 	}
 	if firstDone {
@@ -434,8 +434,8 @@ func TestFailStopDrainsBlockedClients(t *testing.T) {
 	if second.OK || second.Err == "" {
 		t.Errorf("write riding the failed flush must be nacked: %+v", second)
 	}
-	if w.kv.FailedShards != 1 {
-		t.Fatalf("FailedShards = %d, want 1", w.kv.FailedShards)
+	if w.kv.Counters().FailedShards != 1 {
+		t.Fatalf("FailedShards = %d, want 1", w.kv.Counters().FailedShards)
 	}
 }
 
@@ -462,11 +462,11 @@ func TestReplicaFailureFailStopsPrimary(t *testing.T) {
 	if r.OK || r.Err == "" {
 		t.Errorf("write acked without a live quorum: %+v", r)
 	}
-	if w.rm.KV.FailedShards != 1 {
-		t.Fatalf("replica FailedShards = %d, want 1", w.rm.KV.FailedShards)
+	if w.rm.KV.Counters().FailedShards != 1 {
+		t.Fatalf("replica FailedShards = %d, want 1", w.rm.KV.Counters().FailedShards)
 	}
-	if w.kv.FailedShards != 1 {
-		t.Fatalf("primary FailedShards = %d, want 1", w.kv.FailedShards)
+	if w.kv.Counters().FailedShards != 1 {
+		t.Fatalf("primary FailedShards = %d, want 1", w.kv.Counters().FailedShards)
 	}
 }
 
@@ -513,8 +513,8 @@ func TestScanFailStoppedShardReturnsErrorNotPartial(t *testing.T) {
 	if !checked {
 		t.Fatal("app thread never finished")
 	}
-	if w.kv.FailedShards != 1 {
-		t.Fatalf("FailedShards = %d, want 1", w.kv.FailedShards)
+	if w.kv.Counters().FailedShards != 1 {
+		t.Fatalf("FailedShards = %d, want 1", w.kv.Counters().FailedShards)
 	}
 }
 
@@ -539,8 +539,8 @@ func replDigest(seed uint64) [6]uint64 {
 		})
 	}
 	w.rt.RunFor(40_000_000)
-	return [6]uint64{w.kv.Puts, w.kv.AckedWrites, w.kv.ReplBatches, w.kv.ReplAcks,
-		w.rm.KV.ReplApplied, w.eng.Fired()}
+	return [6]uint64{w.kv.Counters().Puts, w.kv.Counters().AckedWrites, w.kv.Counters().ReplBatches, w.kv.Counters().ReplAcks,
+		w.rm.KV.Counters().ReplApplied, w.eng.Fired()}
 }
 
 // TestReplicationDeterministicReplay: the whole two-machine topology —

@@ -61,8 +61,9 @@ func (s *Store) GetReplica(t *core.Thread, key string) GetResult {
 
 // getReplica is the shard handler for a bounded-lag replica read.
 func (sh *shard) getReplica(t *core.Thread, key string, reply *core.Chan) core.Msg {
-	sh.s.ReplicaGets++
+	sh.m.ReplicaGets++
 	if sh.failed != "" {
+		sh.m.ReadErrors++
 		return GetResult{Err: sh.failed}
 	}
 	if !sh.s.replicaRole {
@@ -70,6 +71,7 @@ func (sh *shard) getReplica(t *core.Thread, key string, reply *core.Chan) core.M
 		// read — it IS the freshest copy.
 		l, ok := sh.idx[key]
 		if !ok || l.dead {
+			sh.m.GetNotFound++
 			return GetResult{Found: false}
 		}
 		return sh.serveLoc(t, l, reply)
@@ -79,22 +81,24 @@ func (sh *shard) getReplica(t *core.Thread, key string, reply *core.Chan) core.M
 		// or partial index must not answer "not found" for keys the
 		// primary holds (this covers the window between attach and the
 		// first batch too).
-		sh.s.ReplicaLagged++
+		sh.m.RefusedSyncing++
 		return GetResult{Err: ErrReplicaSyncing}
 	}
 	if sh.primTail-sh.replApplied > sh.s.P.ReplicaLagBound {
-		sh.s.ReplicaLagged++
+		sh.m.RefusedLag++
 		return GetResult{Err: ErrReplicaLag}
 	}
 	l, ok := sh.idx[key]
 	if !ok || l.dead {
+		sh.m.GetNotFound++
 		return GetResult{Found: false}
 	}
 	if l.seq > sh.replDurable {
 		// The version is applied but its group commit has not landed: a
 		// failover right now would lose it. Park until the flush
-		// interrupt advances the durable horizon.
-		sh.s.ReplicaWaits++
+		// interrupt advances the durable horizon — the read sits in the
+		// ReplReadsParked gauge until serveLoc (or a nack) counts it.
+		sh.m.ReplicaWaits++
 		sh.replReads = append(sh.replReads, pendingReplRead{reply: reply, key: key, l: l})
 		return kernel.Deferred
 	}
@@ -142,6 +146,7 @@ func (sh *shard) requeueReplReads(t *core.Thread) {
 	for _, pr := range old {
 		l, ok := sh.idx[pr.key]
 		if !ok || l.dead {
+			sh.m.GetNotFound++
 			pr.reply.Send(t, GetResult{Found: false})
 			continue
 		}

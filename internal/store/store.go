@@ -44,6 +44,8 @@ import (
 	"chanos/internal/blockdev"
 	"chanos/internal/core"
 	"chanos/internal/kernel"
+	"chanos/internal/sim"
+	"chanos/internal/telemetry"
 )
 
 // Params tunes the store service.
@@ -218,6 +220,10 @@ type flushDone struct {
 	sealed bool
 	ok     bool
 	err    string
+	// at is the virtual time the write was issued — observability
+	// metadata for the flush-latency histogram, carried free (it does
+	// not change the message's billed size).
+	at sim.Time
 }
 
 func (d flushDone) MsgBytes() int { return 32 + len(d.data) }
@@ -436,6 +442,9 @@ type shard struct {
 	// disk. Every subsequent request is refused with this error; a
 	// restart recovers exactly the durable (acknowledged) writes.
 	failed string
+	// m is the shard's private metric set (telemetry.go): counters,
+	// gauges, histograms and the flight recorder, all shard-owned.
+	m shardMetrics
 }
 
 // Store is the sharded key-value kernel service.
@@ -457,39 +466,13 @@ type Store struct {
 	// not "the data does not exist".
 	replicaRole bool
 
-	// Stats (single simulation goroutine: plain counters, like the
-	// netstack's).
-	Gets, Puts, Deletes, Scans  uint64
-	CacheHits, CacheMisses      uint64
-	FlushesStarted, FlushesDone uint64
-	FlushedRecords              uint64
-	AckedWrites                 uint64 // write acks sent (durability confirmed)
-	Replayed                    uint64 // records replayed during recovery
-	LogFull                     uint64 // writes refused: log region exhausted
-
-	CompactionsStarted uint64 // compaction passes begun (incl. crash resumes)
-	CompactionsDone    uint64 // epoch switches committed
-	CompactionsSkipped uint64 // past high water but live set too big to win space
-	CompactedRecords   uint64 // records rewritten into a fresh region
-	CompactedBytes     uint64 // log bytes those records occupy
-	EpochWritesDurable uint64 // superblock (epoch record) writes on the platters
-	FailedShards       uint64 // shards fail-stopped after a log write error
-
-	ReplBatches     uint64 // replication batches shipped (primary side)
-	ReplRecords     uint64 // records those batches carried
-	ReplAcks        uint64 // replica acks received (primary side)
-	ReplSyncs       uint64 // bootstrap/catch-up sweeps started (primary side)
-	ReplSyncRecords uint64 // records streamed by bootstrap sweeps
-	ReplApplied     uint64 // records applied from a primary (replica side)
-	ReplStale       uint64 // replicated records skipped as duplicates (replica side)
-
-	ReplAttaches  uint64 // replica attachments begun (AttachReplica calls)
-	ReplHeals     uint64 // shard attachments that reached quorum via a bootstrap image
-	ReplDetached  uint64 // shard attachments dropped before quorum (replica lost mid-sync)
-	ReplAdverts   uint64 // tail advertisements shipped ahead of their flush
-	ReplicaGets   uint64 // replica-read GETs served or refused (replica side)
-	ReplicaLagged uint64 // replica-read GETs refused: lag beyond bound or image incomplete
-	ReplicaWaits  uint64 // replica-read GETs parked for the durable horizon
+	// statd, when attached, answers the STATS wire verb with a live
+	// snapshot (AttachStatd). Metrics themselves live per shard
+	// (shardMetrics); Counters() folds them — see telemetry.go.
+	statd *telemetry.Statd
+	// flightDumps retains the flight-recorder dump of every shard that
+	// fail-stopped, in fail-stop order.
+	flightDumps []telemetry.FlightDump
 }
 
 // New registers the "store" service on k's kernel cores. disks carries
@@ -723,12 +706,14 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 // a disk read. Only the last defers the reply — and never blocks the
 // shard; other keys keep being served while the read is in flight.
 func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
-	sh.s.Gets++
+	sh.m.Gets++
 	if sh.failed != "" {
+		sh.m.ReadErrors++
 		return GetResult{Err: sh.failed}
 	}
 	l, ok := sh.idx[key]
 	if !ok || l.dead {
+		sh.m.GetNotFound++
 		return GetResult{Found: false}
 	}
 	return sh.serveLoc(t, l, reply)
@@ -741,14 +726,16 @@ func (sh *shard) get(t *core.Thread, key string, reply *core.Chan) core.Msg {
 func (sh *shard) serveLoc(t *core.Thread, l loc, reply *core.Chan) core.Msg {
 	if l.block == sh.openBlock {
 		// The tail block lives in memory until sealed.
-		sh.s.CacheHits++
+		sh.m.CacheHits++
 		return GetResult{Found: true, Ver: l.ver, Val: copyBytes(sh.open[l.off : l.off+l.vlen])}
 	}
 	if data, hit := sh.cache.get(l.block); hit {
-		sh.s.CacheHits++
+		sh.m.CacheHits++
 		return GetResult{Found: true, Ver: l.ver, Val: copyBytes(data[l.off : l.off+l.vlen])}
 	}
-	sh.s.CacheMisses++
+	// The miss is the read's terminal count: whatever the parked disk
+	// read returns later (value or error) was already accounted here.
+	sh.m.CacheMisses++
 	sh.parkRead(t, l.block, pendingRead{reply: reply, l: l})
 	return kernel.Deferred
 }
@@ -818,22 +805,35 @@ func (sh *shard) readDone(t *core.Thread, d readDone) {
 // the record is durable (group commit). Found in the ack reports
 // whether the key held a live value before this write.
 func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan) core.Msg {
-	sh.s.Puts++
+	// The write is in the in-flight gauge from arrival: append (block
+	// seal) and replCapture below can yield the shard thread, and a
+	// telemetry snapshot taken in that window must still see the write
+	// accounted — the conservation laws hold at ANY instant, not just
+	// between requests. Every terminal below pairs its counter with the
+	// gauge decrement.
+	sh.m.Puts++
+	sh.m.writesInFlight++
 	if sh.failed != "" {
+		sh.m.WriteErrors++
+		sh.m.writesInFlight--
 		return WriteResult{Err: sh.failed}
 	}
 	rec := recHeader + len(key) + len(val)
 	if rec+1+blockHeader > sh.s.P.Disk.BlockSize {
+		sh.m.WriteErrors++
+		sh.m.writesInFlight--
 		return WriteResult{Err: fmt.Sprintf("store: record for %q is %d bytes; max %d", key, rec, sh.s.P.Disk.BlockSize-1-blockHeader-recHeader)}
 	}
 	old, existed := sh.idx[key]
 	ver := old.ver + 1 // tombstones keep their version, so re-creation continues the sequence
 	if !sh.append(t, recPut, key, val, ver) {
-		sh.s.LogFull++
+		sh.m.LogFull++
+		sh.m.writesInFlight--
 		return WriteResult{Err: "store: log region full"}
 	}
 	sh.applyRecord(recPut, key, len(val), ver, 0)
 	seq := sh.replCapture(t, recPut, key, val, ver)
+	sh.m.flight.Record(sh.now(), "put", key, ver, uint64(len(val)))
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
 		res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
 	sh.armFlush(t)
@@ -845,21 +845,31 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 // durable). The index keeps the tombstone (dead loc) so the key's
 // version sequence survives deletion.
 func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
-	sh.s.Deletes++
+	// Same gauge-from-arrival discipline as write: append can yield
+	// mid-request, and a snapshot must never catch a delete counted but
+	// unclassified.
+	sh.m.Deletes++
+	sh.m.writesInFlight++
 	if sh.failed != "" {
+		sh.m.WriteErrors++
+		sh.m.writesInFlight--
 		return WriteResult{Err: sh.failed}
 	}
 	old, ok := sh.idx[key]
 	if !ok || old.dead {
+		sh.m.DeleteMisses++
+		sh.m.writesInFlight--
 		return WriteResult{OK: true, Found: false}
 	}
 	ver := old.ver + 1
 	if !sh.append(t, recDel, key, nil, ver) {
-		sh.s.LogFull++
+		sh.m.LogFull++
+		sh.m.writesInFlight--
 		return WriteResult{Err: "store: log region full"}
 	}
 	sh.applyRecord(recDel, key, 0, ver, 0)
 	seq := sh.replCapture(t, recDel, key, nil, ver)
+	sh.m.flight.Record(sh.now(), "del", key, ver, 0)
 	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
 		res: WriteResult{OK: true, Found: true, Ver: ver}})
 	sh.armFlush(t)
@@ -868,7 +878,7 @@ func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 }
 
 func (sh *shard) scan(a scanArg) ScanResult {
-	sh.s.Scans++
+	sh.m.Scans++
 	if sh.failed != "" {
 		return ScanResult{Err: sh.failed}
 	}
@@ -977,8 +987,11 @@ func (sh *shard) flush(t *core.Thread, sealed bool) {
 	batch := sh.waiters
 	sh.waiters = nil
 	sh.dirty = 0
-	sh.s.FlushesStarted++
+	sh.m.FlushesStarted++
 	sh.flushesIssued++
+	sh.m.BatchSize.Add(uint64(len(batch)))
+	issued := sh.now()
+	sh.m.flight.Record(issued, "flush", "", uint64(len(batch)), uint64(sh.openBlock))
 	block, data := sh.openBlock, copyBytes(sh.open)
 	var cacheData []byte
 	if sealed {
@@ -991,7 +1004,7 @@ func (sh *shard) flush(t *core.Thread, sealed bool) {
 	}, func(res blockdev.Result) {
 		rt.InjectSend(svc.Shard(id), kernel.Request{
 			Op: "flushed", Key: id,
-			Arg: flushDone{batch: batch, block: block, data: cacheData, sealed: sealed, ok: res.OK, err: res.Err},
+			Arg: flushDone{batch: batch, block: block, data: cacheData, sealed: sealed, ok: res.OK, err: res.Err, at: issued},
 		}, from)
 	})
 }
@@ -1002,15 +1015,12 @@ func (sh *shard) flush(t *core.Thread, sealed bool) {
 // refer to records the platters never got, so continuing to serve would
 // hand out state a restart provably diverges from.
 func (sh *shard) flushed(t *core.Thread, d flushDone) {
-	sh.s.FlushesDone++
+	sh.m.FlushesDone++
 	sh.flushesDone++
-	sh.s.FlushedRecords += uint64(len(d.batch))
+	sh.m.FlushedRecords += uint64(len(d.batch))
+	sh.m.FlushLatency.Add(sh.now() - d.at)
 	if !d.ok {
-		for _, pw := range d.batch {
-			if pw.reply != nil {
-				pw.reply.Send(t, pw.errMsg(d.err))
-			}
-		}
+		sh.nackBatch(t, d.batch, d.err)
 		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: log write: %s", sh.id, d.err))
 		return
 	}
@@ -1018,11 +1028,7 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 		// A straggler flush completing after fail-stop: its records are
 		// durable, but the shard is condemned — nack and let recovery
 		// sort out the truth from the log.
-		for _, pw := range d.batch {
-			if pw.reply != nil {
-				pw.reply.Send(t, pw.errMsg(sh.failed))
-			}
-		}
+		sh.nackBatch(t, d.batch, sh.failed)
 		return
 	}
 	if d.sealed {
@@ -1038,28 +1044,57 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 		for _, pw := range d.batch {
 			if pw.reply != nil {
 				sh.replWait = append(sh.replWait, pw)
+			} else {
+				sh.ackLocal(t, pw)
 			}
 		}
 		sh.drainQuorum(t)
 	} else {
 		for _, pw := range d.batch {
-			if pw.reply != nil {
-				if pw.repl {
-					// Replica side: this ack IS the durability receipt —
-					// the sequence it covers is now on our platters, so
-					// replica reads parked on it may serve.
-					if a, ok := pw.res.(ReplAck); ok && a.Seq > sh.replDurable {
-						sh.replDurable = a.Seq
-					}
-				} else {
-					sh.s.AckedWrites++
+			if pw.repl {
+				// Replica side: this ack IS the durability receipt —
+				// the sequence it covers is now on our platters, so
+				// replica reads parked on it may serve.
+				if a, ok := pw.res.(ReplAck); ok && a.Seq > sh.replDurable {
+					sh.replDurable = a.Seq
 				}
-				pw.reply.Send(t, pw.res)
+				if pw.reply != nil {
+					pw.reply.Send(t, pw.res)
+				}
+				continue
 			}
+			sh.ackLocal(t, pw)
 		}
 		sh.drainReplReads(t)
 	}
 	sh.maybeCommitEpoch(t)
+}
+
+// ackLocal completes a client write at local durability (the
+// solo/syncing contract): its terminal counters fire and it leaves the
+// in-flight gauge.
+func (sh *shard) ackLocal(t *core.Thread, pw pendingWrite) {
+	sh.m.AckedWrites++
+	sh.m.AckedLocal++
+	sh.m.writesInFlight--
+	if pw.reply != nil {
+		pw.reply.Send(t, pw.res)
+	}
+}
+
+// nackBatch refuses every write a failed (or post-fail-stop straggler)
+// flush carried. Replica-side applies nack without write-law counters —
+// they were never counted as Puts.
+func (sh *shard) nackBatch(t *core.Thread, batch []pendingWrite, err string) {
+	for _, pw := range batch {
+		if !pw.repl {
+			sh.m.WriteErrors++
+			sh.m.writesInFlight--
+		}
+		if pw.reply != nil {
+			pw.reply.Send(t, pw.errMsg(err))
+		}
+	}
 }
 
 // failStop condemns the shard: every parked waiter is nacked and every
@@ -1073,26 +1108,25 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 		return
 	}
 	sh.failed = err
-	sh.s.FailedShards++
+	sh.m.FailedShards++
+	// Dump the flight recorder first: the ring holds what the shard was
+	// doing in its last moments, before the drain below rewrites it.
+	sh.m.flight.Record(sh.now(), "failstop", err, 0, 0)
+	sh.s.flightDumps = append(sh.s.flightDumps, sh.m.flight.Dump("store", sh.id, sh.now(), err))
 	sh.comp = nil
 	if r := sh.repl; r != nil {
 		r.sync = nil
 		r.out = nil
 		r.queued = nil
 	}
-	for _, pw := range sh.waiters {
-		if pw.reply != nil {
-			pw.reply.Send(t, pw.errMsg(err))
-		}
-	}
+	sh.nackBatch(t, sh.waiters, err)
 	sh.waiters = nil
-	for _, pw := range sh.replWait {
-		if pw.reply != nil {
-			pw.reply.Send(t, pw.errMsg(err))
-		}
-	}
+	sh.nackBatch(t, sh.replWait, err)
 	sh.replWait = nil
 	for _, pr := range sh.replReads {
+		// Parked replica reads were only ever in the in-flight gauge;
+		// the nack is their terminal count.
+		sh.m.ReadErrors++
 		if pr.reply != nil {
 			pr.reply.Send(t, GetResult{Err: err})
 		}
@@ -1171,7 +1205,7 @@ func (sh *shard) recover(t *core.Thread) {
 				}
 				apply(b, op, key, valOff, vlen, ver)
 				parsed += n
-				sh.s.Replayed++
+				sh.m.Replayed++
 			}
 			if parsed == blockHeader {
 				break // stamp matched by accident (epoch 0 = zeroes): never written
@@ -1189,6 +1223,7 @@ func (sh *shard) recover(t *core.Thread) {
 			sh.liveBytes += l.vlen
 		}
 	}
+	sh.m.flight.Record(sh.now(), "recover", "", sh.m.Replayed, uint64(len(sh.idx)))
 	if cBlocks > 0 {
 		// Crash mid-compaction: the fresh region already holds durable
 		// epoch+1 records. Keep them in place, append after them, and

@@ -95,8 +95,8 @@ func TestPutGetDeleteScanVersions(t *testing.T) {
 	if !done {
 		t.Fatal("app thread never finished (a write ack never arrived)")
 	}
-	if w.kv.AckedWrites == 0 || w.kv.FlushesDone == 0 {
-		t.Fatalf("no durability traffic: acked=%d flushes=%d", w.kv.AckedWrites, w.kv.FlushesDone)
+	if w.kv.Counters().AckedWrites == 0 || w.kv.Counters().FlushesDone == 0 {
+		t.Fatalf("no durability traffic: acked=%d flushes=%d", w.kv.Counters().AckedWrites, w.kv.Counters().FlushesDone)
 	}
 }
 
@@ -116,18 +116,18 @@ func TestCacheMissGoesToDiskThenHits(t *testing.T) {
 				t.Errorf("put %d failed: %+v", i, r)
 			}
 		}
-		missesBefore := w.kv.CacheMisses
+		missesBefore := w.kv.Counters().CacheMisses
 		if g := w.kv.Get(th, "k00"); !g.Found || len(g.Val) != len(val) {
 			t.Errorf("cold get: %+v", g)
 		}
-		if w.kv.CacheMisses == missesBefore {
+		if w.kv.Counters().CacheMisses == missesBefore {
 			t.Error("cold key should have missed the cache")
 		}
-		hitsBefore := w.kv.CacheHits
+		hitsBefore := w.kv.Counters().CacheHits
 		if g := w.kv.Get(th, "k00"); !g.Found {
 			t.Errorf("warm get: %+v", g)
 		}
-		if w.kv.CacheHits == hitsBefore {
+		if w.kv.Counters().CacheHits == hitsBefore {
 			t.Error("re-read should have hit the cache")
 		}
 		done = true
@@ -279,7 +279,7 @@ func TestWireDuplicatePutAppliesOnce(t *testing.T) {
 	})
 	rt.Run()
 
-	if st.Retransmits+nw.Retransmits == 0 {
+	if st.Counters().Retransmits+nw.Retransmits == 0 {
 		t.Fatal("no retransmissions happened — the duplicate path was not exercised")
 	}
 	if len(resps) != puts {
@@ -290,8 +290,8 @@ func TestWireDuplicatePutAppliesOnce(t *testing.T) {
 			t.Fatalf("response %d = %+v, want OK ver %d (a duplicate double-applied?)", i, r, i+1)
 		}
 	}
-	if kv.Puts != puts {
-		t.Fatalf("store saw %d PUTs for %d client PUTs: duplicates crossed the netstack", kv.Puts, puts)
+	if kv.Counters().Puts != puts {
+		t.Fatalf("store saw %d PUTs for %d client PUTs: duplicates crossed the netstack", kv.Counters().Puts, puts)
 	}
 	// End-to-end: the key's version advanced exactly once per PUT.
 	done := false
@@ -399,7 +399,7 @@ func TestAckedWritesSurviveImmediateCrash(t *testing.T) {
 	if !ok {
 		t.Fatal("reader never finished")
 	}
-	if kv.Replayed == 0 {
+	if kv.Counters().Replayed == 0 {
 		t.Fatal("recovery replayed nothing")
 	}
 }
@@ -444,8 +444,8 @@ func TestFailedFlushFailStopsShard(t *testing.T) {
 	if !checked {
 		t.Fatal("app thread never finished")
 	}
-	if w.kv.FailedShards != 1 {
-		t.Fatalf("FailedShards = %d, want 1", w.kv.FailedShards)
+	if w.kv.Counters().FailedShards != 1 {
+		t.Fatalf("FailedShards = %d, want 1", w.kv.Counters().FailedShards)
 	}
 
 	// Restart on the surviving platters: the acked write is there, the
@@ -494,11 +494,11 @@ func TestSealedBlockNotCachedUntilFlushed(t *testing.T) {
 		for i := 0; i < 7; i++ {
 			acks = append(acks, w.kv.PutAsync(th, fmt.Sprintf("k%02d", i), val))
 		}
-		missesBefore := w.kv.CacheMisses
+		missesBefore := w.kv.Counters().CacheMisses
 		if g := w.kv.Get(th, "k00"); !g.Found || len(g.Val) != len(val) {
 			t.Errorf("get in the seal window: %+v", g)
 		}
-		if w.kv.CacheMisses == missesBefore {
+		if w.kv.Counters().CacheMisses == missesBefore {
 			t.Error("sealed-but-unflushed block served from the cache")
 		}
 		for _, a := range acks {
@@ -512,12 +512,12 @@ func TestSealedBlockNotCachedUntilFlushed(t *testing.T) {
 				t.Errorf("put %d: %+v", i, r)
 			}
 		}
-		missesBefore = w.kv.CacheMisses
-		hitsBefore := w.kv.CacheHits
+		missesBefore = w.kv.Counters().CacheMisses
+		hitsBefore := w.kv.Counters().CacheHits
 		if g := w.kv.Get(th, "k07"); !g.Found {
 			t.Errorf("get after flush completion: %+v", g)
 		}
-		if w.kv.CacheMisses != missesBefore || w.kv.CacheHits == hitsBefore {
+		if w.kv.Counters().CacheMisses != missesBefore || w.kv.Counters().CacheHits == hitsBefore {
 			t.Error("flushed sealed block did not serve as a cache hit")
 		}
 		done = true
@@ -554,7 +554,7 @@ func digest(seed uint64) [6]uint64 {
 		})
 	}
 	w.rt.RunFor(20_000_000)
-	return [6]uint64{w.kv.Gets, w.kv.Puts, w.kv.AckedWrites, w.kv.CacheHits, w.kv.FlushesDone, w.eng.Fired()}
+	return [6]uint64{w.kv.Counters().Gets, w.kv.Counters().Puts, w.kv.Counters().AckedWrites, w.kv.Counters().CacheHits, w.kv.Counters().FlushesDone, w.eng.Fired()}
 }
 
 // TestStoreDeterministicReplay: the whole store — group commit timing,

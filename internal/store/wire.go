@@ -1,6 +1,8 @@
 package store
 
 import (
+	"encoding/json"
+
 	"chanos/internal/core"
 	"chanos/internal/net"
 )
@@ -20,6 +22,11 @@ const (
 	WPut
 	WDelete
 	WScan
+	// WStats scrapes a live telemetry snapshot: the response Val carries
+	// the machine's telemetry.Snapshot as JSON. Serving it costs wire
+	// traffic like any request, but building the snapshot costs the
+	// machine zero simulated cycles — see internal/telemetry.
+	WStats
 )
 
 func (op WireOp) String() string {
@@ -32,6 +39,8 @@ func (op WireOp) String() string {
 		return "DELETE"
 	case WScan:
 		return "SCAN"
+	case WStats:
+		return "STATS"
 	}
 	return "?"
 }
@@ -95,6 +104,15 @@ func (s *Store) Apply(t *core.Thread, req KVRequest) KVResponse {
 	case WScan:
 		r := s.Scan(t, req.Key, req.Limit)
 		return KVResponse{Seq: req.Seq, OK: r.Err == "", Found: len(r.Keys) > 0, Keys: r.Keys, Vers: r.Vers, Err: r.Err}
+	case WStats:
+		if s.statd == nil {
+			return KVResponse{Seq: req.Seq, Err: "store: no statd attached"}
+		}
+		b, err := json.Marshal(s.statd.SnapshotNow())
+		if err != nil {
+			return KVResponse{Seq: req.Seq, Err: "store: stats encode: " + err.Error()}
+		}
+		return KVResponse{Seq: req.Seq, OK: true, Found: true, Val: b}
 	}
 	return KVResponse{Seq: req.Seq, Err: "store: unknown wire op"}
 }

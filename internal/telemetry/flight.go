@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"chanos/internal/sim"
+)
+
+// FlightEvent is one entry in a shard's flight recorder: a recent
+// operation, flush, replication batch or lifecycle transition. A and B
+// are event-kind-specific numeric payloads (seq numbers, byte counts,
+// batch sizes).
+type FlightEvent struct {
+	At   sim.Time `json:"at"`
+	Kind string   `json:"kind"`
+	Key  string   `json:"key,omitempty"`
+	A    uint64   `json:"a,omitempty"`
+	B    uint64   `json:"b,omitempty"`
+}
+
+// DefaultFlightSize is the per-shard ring capacity.
+const DefaultFlightSize = 64
+
+// Flight is a fixed-size ring of recent events, owned by exactly one
+// shard (no locking, and after init no allocation: old entries are
+// overwritten in place). When the shard fail-stops, the ring is what
+// the machine was doing in its last moments — the first concrete step
+// toward the ROADMAP's machine-core-dump direction.
+type Flight struct {
+	buf  []FlightEvent
+	next int
+	n    uint64
+}
+
+// Init sizes the ring (idempotent; size<=0 picks DefaultFlightSize).
+func (f *Flight) Init(size int) {
+	if f.buf != nil {
+		return
+	}
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	f.buf = make([]FlightEvent, size)
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (f *Flight) Record(at sim.Time, kind, key string, a, b uint64) {
+	if f.buf == nil {
+		f.Init(0)
+	}
+	f.buf[f.next] = FlightEvent{At: at, Kind: kind, Key: key, A: a, B: b}
+	f.next = (f.next + 1) % len(f.buf)
+	f.n++
+}
+
+// Events returns the retained events oldest-first.
+func (f *Flight) Events() []FlightEvent {
+	if f.buf == nil || f.n == 0 {
+		return nil
+	}
+	if f.n < uint64(len(f.buf)) {
+		out := make([]FlightEvent, f.next)
+		copy(out, f.buf[:f.next])
+		return out
+	}
+	out := make([]FlightEvent, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// FlightDump is the versioned JSON form of one shard's recorder,
+// emitted next to the error when the shard fail-stops.
+type FlightDump struct {
+	Version  int           `json:"version"`
+	Service  string        `json:"service"`
+	Shard    int           `json:"shard"`
+	Err      string        `json:"err"`
+	AtCycles uint64        `json:"at_cycles"`
+	Recorded uint64        `json:"recorded"` // total events ever recorded
+	Events   []FlightEvent `json:"events"`   // retained tail, oldest first
+}
+
+// Dump snapshots the ring into its serialisable form.
+func (f *Flight) Dump(service string, shard int, at sim.Time, errMsg string) FlightDump {
+	return FlightDump{
+		Version: SnapshotVersion, Service: service, Shard: shard,
+		Err: errMsg, AtCycles: at, Recorded: f.n, Events: f.Events(),
+	}
+}
+
+// JSON renders the dump (indented; these are small, for humans).
+func (d FlightDump) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		// Every field is a plain value; marshal cannot fail.
+		panic(err)
+	}
+	return b
+}

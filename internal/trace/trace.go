@@ -98,8 +98,17 @@ func (c *Collector) Counter(name string, at sim.Time, value float64) {
 	})
 }
 
-// WriteJSON emits the Chrome trace-event array form.
+// WriteJSON emits the Chrome trace-event array form, closed by one
+// metadata event carrying the drop count — so a truncated timeline
+// says it is truncated inside the file itself, where the viewer sees
+// it, not only on the stdout of whoever recorded it.
 func (c *Collector) WriteJSON(w io.Writer) error {
+	out := make([]Event, 0, len(c.events)+1)
+	out = append(out, c.events...)
+	out = append(out, Event{
+		Name: "trace_metadata", Ph: "M",
+		Args: map[string]any{"dropped": c.Dropped, "cap": c.Cap, "recorded": len(c.events)},
+	})
 	enc := json.NewEncoder(w)
-	return enc.Encode(c.events)
+	return enc.Encode(out)
 }

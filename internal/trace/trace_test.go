@@ -25,8 +25,15 @@ func TestCollectorJSONShape(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("invalid trace JSON: %v", err)
 	}
-	if len(events) != 4 {
-		t.Fatalf("got %d events", len(events))
+	if len(events) != 5 {
+		t.Fatalf("got %d events (4 recorded + 1 trailing metadata)", len(events))
+	}
+	meta := events[4]
+	if meta["ph"] != "M" || meta["name"] != "trace_metadata" {
+		t.Fatalf("missing trailing metadata event: %v", meta)
+	}
+	if args := meta["args"].(map[string]any); args["dropped"].(float64) != 0 || args["recorded"].(float64) != 4 {
+		t.Fatalf("metadata args wrong: %v", args)
 	}
 	if events[0]["ph"] != "X" || events[0]["name"] != "worker" {
 		t.Fatalf("segment event wrong: %v", events[0])
@@ -51,6 +58,20 @@ func TestCollectorCapDrops(t *testing.T) {
 	}
 	if c.Len() != 2 || c.Dropped != 3 {
 		t.Fatalf("len=%d dropped=%d", c.Len(), c.Dropped)
+	}
+	// The drop count rides inside the file: a viewer of the truncated
+	// timeline sees how much is missing without the recorder's stdout.
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	meta := events[len(events)-1]
+	if meta["name"] != "trace_metadata" || meta["args"].(map[string]any)["dropped"].(float64) != 3 {
+		t.Fatalf("dropped count not in metadata: %v", meta)
 	}
 }
 

@@ -70,6 +70,15 @@ if [ "$short" = "0" ]; then
         exit 1
     fi
 
+    # The conservation column gates the metric plane: every cores-sweep
+    # row's final telemetry snapshot must balance its read/write/ack/flush
+    # laws ("ok", never "N VIOLATED").
+    if ! echo "$out" | sed -n '/E15 \/ store scaling/,/^$/p' \
+        | awk '/^(4|16|64|128) /{ rows++; if ($NF != "ok") bad=1 } END { exit !(rows > 0 && !bad) }'; then
+        echo "verify: an E15 telemetry snapshot violated its conservation laws" >&2
+        exit 1
+    fi
+
     # -json must have produced a parseable artifact with rows in it.
     test -s BENCH_E15.json || {
         echo "verify: BENCH_E15.json missing or empty" >&2
@@ -77,6 +86,12 @@ if [ "$short" = "0" ]; then
     }
     grep -q '"rows"' BENCH_E15.json || {
         echo "verify: BENCH_E15.json has no rows" >&2
+        exit 1
+    }
+    # ...and the embedded telemetry snapshot (full per-service metric
+    # state, the CI artifact's machine-readable core).
+    grep -q '"telemetry"' BENCH_E15.json || {
+        echo "verify: BENCH_E15.json has no embedded telemetry snapshot" >&2
         exit 1
     }
 
@@ -127,6 +142,21 @@ if [ "$short" = "0" ]; then
         echo "verify: a heal cycle lost acked writes, never reached quorum, or never synced" >&2
         exit 1
     fi
+    # The live-scrape table is the observability gate: every cycle's
+    # wire STATS request must have returned a snapshot ("scraped" yes)
+    # whose conservation laws hold (violations 0) — including the
+    # runtime-attach cycles where the scrape lands mid-heal.
+    scrapes=$(echo "$out" | sed -n '/E17c \/ live STATS scrape/,/^$/p')
+    [ -n "$scrapes" ] || {
+        echo "verify: E17c live-scrape table missing" >&2
+        exit 1
+    }
+    if ! echo "$scrapes" | awk '/^[0-9]/{ rows++; if ($2 != "yes") bad=1; if ($5 != "0") bad=1 }
+        END { exit !(rows >= 3 && !bad) }'; then
+        echo "verify: a live STATS scrape failed or returned an unbalanced snapshot" >&2
+        exit 1
+    fi
+
     # The replica-read sweep must show the healed pair's second index
     # lifting GET throughput by at least 1.5x at fixed cores.
     reads=$(echo "$out" | sed -n '/E17b \/ replica reads/,/^$/p')
@@ -144,6 +174,10 @@ if [ "$short" = "0" ]; then
     }
     grep -q '"rows"' BENCH_E17.json || {
         echo "verify: BENCH_E17.json has no rows" >&2
+        exit 1
+    }
+    grep -q '"telemetry"' BENCH_E17.json || {
+        echo "verify: BENCH_E17.json has no embedded telemetry snapshot" >&2
         exit 1
     }
 fi
