@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "simulation seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "also write BENCH_<id>.json per experiment")
+		dumpDir = flag.String("dump-on-fail", "", "write a machine core dump into this directory if an experiment's invariant gate fails")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -39,7 +40,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := exp.Options{Seed: *seed, Quick: *quick}
+	o := exp.Options{Seed: *seed, Quick: *quick, DumpDir: *dumpDir}
 
 	switch {
 	case *list:

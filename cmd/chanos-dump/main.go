@@ -1,0 +1,171 @@
+// Command chanos-dump inspects machine core dumps written by the
+// internal/dump subsystem.
+//
+// Usage:
+//
+//	chanos-dump <dump.json>              render a human summary
+//	chanos-dump -validate <dump.json>    structural validation (exit 1 on problems)
+//	chanos-dump -diff <a.json> <b.json>  structural diff (exit 1 when they differ)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chanos/internal/dump"
+	"chanos/internal/store"
+)
+
+func main() {
+	var (
+		validate = flag.Bool("validate", false, "structurally validate the dump")
+		diff     = flag.Bool("diff", false, "structurally diff two dumps")
+	)
+	flag.Parse()
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "chanos-dump: -diff needs exactly two dump files")
+			os.Exit(2)
+		}
+		os.Exit(diffDumps(flag.Arg(0), flag.Arg(1)))
+	case flag.NArg() != 1:
+		fmt.Fprintln(os.Stderr, "usage: chanos-dump [-validate | -diff] <dump.json> [dump.json]")
+		os.Exit(2)
+	case *validate:
+		os.Exit(validateDump(flag.Arg(0)))
+	default:
+		os.Exit(inspect(flag.Arg(0)))
+	}
+}
+
+func load(path string) *dump.Dump {
+	d, err := dump.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-dump: %v\n", err)
+		os.Exit(1)
+	}
+	return d
+}
+
+func validateDump(path string) int {
+	d := load(path)
+	if bad := d.Validate(); len(bad) > 0 {
+		fmt.Printf("%s: INVALID\n", path)
+		for _, b := range bad {
+			fmt.Printf("  %s\n", b)
+		}
+		return 1
+	}
+	fmt.Printf("%s: valid (schema v%d, scenario %s, seed %d, event %d)\n",
+		path, d.Version, d.Config.Scenario, d.Seed, d.EventCount)
+	return 0
+}
+
+func diffDumps(pa, pb string) int {
+	a, b := load(pa), load(pb)
+	diffs := dump.Diff(a, b)
+	if len(diffs) == 0 {
+		fmt.Println("dumps are identical")
+		return 0
+	}
+	for _, l := range diffs {
+		fmt.Println(l)
+	}
+	return 1
+}
+
+var lifecycleNames = []string{"solo", "failed-over", "syncing", "quorum", "failed"}
+
+func inspect(path string) int {
+	d := load(path)
+	fmt.Printf("machine core dump %s (schema v%d)\n", path, d.Version)
+	fmt.Printf("  reason      %s\n", d.Reason)
+	fmt.Printf("  repro       scenario=%s seed=%d event=%d (cycle %d)\n",
+		d.Config.Scenario, d.Seed, d.EventCount, d.AtCycles)
+	fmt.Printf("  replay      %s\n", dump.ReplayCommand(path))
+	fmt.Printf("  config      %d cores, %d clients, %d requests, %d keys, %d%% reads, logblocks=%d, replicas=%d\n",
+		d.Config.Cores, d.Config.Clients, d.Config.Requests, d.Config.Keys,
+		d.Config.ReadPct, d.Config.LogBlocks, d.Config.Replicas)
+	if d.Config.FailWrites > 0 {
+		fmt.Printf("  fault       %d injected write failures on shard %d\n",
+			d.Config.FailWrites, d.Config.FailShard)
+	}
+
+	running, ready, blocked := 0, 0, 0
+	for _, t := range d.Threads {
+		switch t.State {
+		case "running":
+			running++
+		case "ready":
+			ready++
+		default:
+			blocked++
+		}
+	}
+	fmt.Printf("  sched       %d cores, %d threads (%d running, %d ready, %d blocked)\n",
+		len(d.Cores), len(d.Threads), running, ready, blocked)
+
+	var rxQ int
+	for _, q := range d.NIC {
+		rxQ += q.RxOccupancy
+	}
+	fmt.Printf("  nic         %d queues, %d rx frames queued\n", len(d.NIC), rxQ)
+	conns := 0
+	for _, sh := range d.Net {
+		conns += len(sh.Conns)
+	}
+	fmt.Printf("  net         %d shards, %d live connections\n", len(d.Net), conns)
+
+	sections := []struct {
+		name   string
+		shards []dumpShardView
+	}{
+		{"store", shardViews(d.Store)},
+		{"replica", shardViews(d.Replica)},
+	}
+	for _, sec := range sections {
+		for _, v := range sec.shards {
+			fmt.Printf("  %-7s #%d  %-11s %5d keys, %6d live bytes, %3d cached blocks, %4d disk writes, flight %d/%d%s\n",
+				sec.name, v.shard, v.state, v.keys, v.liveBytes, v.cached, v.diskWrites,
+				v.flightLen, v.flightRecorded, v.failed)
+		}
+	}
+
+	if d.Telemetry != nil {
+		fmt.Printf("  telemetry   %d services at cycle %d\n", len(d.Telemetry.Services), d.Telemetry.AtCycles)
+	}
+	if bad := d.Validate(); len(bad) > 0 {
+		fmt.Printf("  WARNING: dump fails structural validation (%d problems; run -validate)\n", len(bad))
+		return 1
+	}
+	return 0
+}
+
+type dumpShardView struct {
+	shard, keys, liveBytes, cached, flightLen int
+	diskWrites, flightRecorded                uint64
+	state, failed                             string
+}
+
+func shardViews(shards []store.ShardSnapshot) []dumpShardView {
+	out := make([]dumpShardView, 0, len(shards))
+	for _, sh := range shards {
+		v := dumpShardView{
+			shard: sh.Shard, keys: len(sh.Index), liveBytes: sh.LiveBytes,
+			cached: len(sh.CacheBlocks), flightLen: len(sh.Flight),
+			diskWrites: sh.Disk.Writes, flightRecorded: sh.FlightRecorded,
+			state: "?",
+		}
+		if int(sh.Lifecycle) < len(lifecycleNames) {
+			v.state = lifecycleNames[sh.Lifecycle]
+		}
+		if sh.Failed != "" {
+			v.failed = "  FAILED: " + sh.Failed
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -2,16 +2,25 @@
 // message-passing file system, runs a mixed workload scenario, and prints
 // a machine/trace summary: per-subsystem operation counts, core
 // utilisation, cache behaviour and runtime statistics.
+//
+// With -scenario kvload it instead boots the replayable KV vertical
+// (the same world examples/kvserver serves), optionally with injected
+// log-device write failures; -dump-on-fail writes a machine core dump
+// on any shard fail-stop. With -replay it time-travels: rebuild the
+// dumped world from its recorded (seed, config) and halt the engine
+// just before the failing instant, at the dump's exact event count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"chanos/internal/blockdev"
 	"chanos/internal/core"
+	"chanos/internal/dump"
 	"chanos/internal/kernel"
 	"chanos/internal/machine"
 	"chanos/internal/sched"
@@ -30,8 +39,34 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		policy    = flag.String("sched", "locality", "placement policy: rr|random|least|locality|steal")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline here")
+
+		scenario   = flag.String("scenario", "", "named scenario: kvload (default: the VFS metadata workload)")
+		shards     = flag.Int("shards", 0, "kvload: store shards (0 = default)")
+		requests   = flag.Int("requests", 0, "kvload: client requests to serve (0 = default)")
+		readPct    = flag.Int("readpct", 0, "kvload: GET share 0-100 (0 = default)")
+		keys       = flag.Int("keys", 0, "kvload: keyspace size (0 = default)")
+		logBlocks  = flag.Int("logblocks", 0, "kvload: per-shard log-region blocks (0 = default)")
+		replicas   = flag.Int("replicas", 0, "kvload: replica machines (0 or 1)")
+		loss       = flag.Float64("loss", 0, "kvload: wire packet loss probability")
+		failWrites = flag.Int("fail-writes", 0, "kvload: fail the next N log-device write completions after prefill")
+		failShard  = flag.Int("fail-shard", 0, "kvload: which shard's device the injected failures hit")
+		dumpOnFail = flag.String("dump-on-fail", "", "kvload: write a machine core dump into this directory on any shard fail-stop")
+		replay     = flag.String("replay", "", "replay a machine core dump: rebuild its world and halt at the recorded event count")
+		redump     = flag.String("redump", "", "with -replay: re-dump the halted machine to this path (differential check)")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayDump(*replay, *redump))
+	}
+	if *scenario != "" {
+		os.Exit(runScenario(*scenario, dump.Config{
+			Cores: *cores, Shards: *shards, Clients: *clients,
+			Requests: *requests, ReadPct: *readPct, Keys: *keys,
+			LogBlocks: *logBlocks, Replicas: *replicas, Loss: *loss,
+			FailWrites: *failWrites, FailShard: *failShard,
+		}, *seed, *dumpOnFail))
+	}
 
 	var s core.Scheduler
 	switch *policy {
@@ -182,4 +217,100 @@ func main() {
 		fmt.Printf("  trace             %s (%d events, %d dropped)\n",
 			*traceFile, collector.Len(), collector.Dropped)
 	}
+}
+
+// runScenario boots and drives a named replayable scenario.
+func runScenario(name string, cfg dump.Config, seed uint64, dumpDir string) int {
+	if name != dump.ScenarioKVLoad {
+		fmt.Fprintf(os.Stderr, "chanos-sim: unknown scenario %q (have: kvload)\n", name)
+		return 2
+	}
+	cfg.Scenario = name
+	w := dump.Build(seed, cfg)
+	defer w.Close()
+	if dumpDir != "" {
+		w.C.OnFailStop(func(d *dump.Dump) { writeDump(dumpDir, d, w) })
+	}
+	cfg = w.Config()
+	fmt.Printf("chanos-sim: scenario kvload, %d cores, %d store shards, %d clients, %d keys, %d%% reads, seed %d\n",
+		cfg.Cores, w.KV.Shards(), cfg.Clients, cfg.Keys, cfg.ReadPct, seed)
+	if cfg.FailWrites > 0 {
+		fmt.Printf("  fault: next %d write completions on shard %d's log device will fail\n",
+			cfg.FailWrites, cfg.FailShard)
+	}
+	r := w.Run()
+	fmt.Printf("  served %d/%d requests over %d connections (%d errors, %d not-found) in %.2f simulated ms\n",
+		r.Responses, cfg.Requests, r.Completed, r.Errs, r.NotFound,
+		w.Sys.Seconds(w.Sys.Now())*1e3)
+	fmt.Printf("  engine: %d counted events, store state %s\n", w.Sys.Eng.Fired(), w.KV.Lifecycle())
+	if r.Stalled {
+		fmt.Println("  stalled: the fleet stopped making progress")
+	}
+	for _, b := range r.ConservationBad {
+		fmt.Printf("  CONSERVATION VIOLATED: %s\n", b)
+	}
+	if cfg.FailWrites > 0 && dumpDir != "" && !w.C.Dumped() {
+		fmt.Fprintln(os.Stderr, "chanos-sim: injected fault never tripped a fail-stop")
+		return 1
+	}
+	return 0
+}
+
+// writeDump persists a core dump and prints the one-command replay line.
+func writeDump(dir string, d *dump.Dump, w *dump.World) {
+	path := filepath.Join(dir, d.FileName())
+	if err := dump.WriteFile(path, d, w.KV); err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+		return
+	}
+	fmt.Printf("dump written: %s\n", path)
+	fmt.Printf("  reason: %s\n", d.Reason)
+	fmt.Printf("  replay: %s\n", dump.ReplayCommand(path))
+}
+
+// replayDump rebuilds a dumped machine and halts it at the dump's
+// recorded event count — the state just before the failing instant.
+func replayDump(path, redumpPath string) int {
+	d, err := dump.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+		return 1
+	}
+	if bad := d.Validate(); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "chanos-sim: %s is not a valid dump:\n", path)
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", b)
+		}
+		return 1
+	}
+	fmt.Printf("replay: scenario %s, seed %d, target event %d (%q)\n",
+		d.Config.Scenario, d.Seed, d.EventCount, d.Reason)
+	w, _, err := dump.Replay(d)
+	if w != nil {
+		defer w.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replay: halted at event %d (recorded %d), cycle %d (%.3f simulated ms)\n",
+		w.Sys.Eng.Fired(), d.EventCount, w.Sys.Now(), w.Sys.Seconds(w.Sys.Now())*1e3)
+	rd := w.C.Snapshot(d.Reason)
+	if dump.Equal(d, rd) {
+		fmt.Println("replay: machine state matches the dump exactly")
+	} else {
+		fmt.Println("replay: MACHINE STATE DIVERGES from the dump:")
+		for _, line := range dump.Diff(d, rd) {
+			fmt.Printf("  %s\n", line)
+		}
+		return 1
+	}
+	if redumpPath != "" {
+		if err := dump.WriteFile(redumpPath, rd, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("re-dump written: %s\n", redumpPath)
+	}
+	return 0
 }

@@ -7,20 +7,20 @@
 // flush to the shard's private log device before the acknowledgement
 // travels all the way back. No locks anywhere on that path.
 //
+// The world boots through the internal/dump kvload scenario, which is
+// the replay contract: with -dump-on-fail DIR, any shard fail-stop,
+// stall, or conservation violation writes a machine core dump plus the
+// one-command `chanos-sim -replay` line that reproduces it exactly.
+//
 // Run: go run ./examples/kvserver [-clients 128] [-requests 20000] [-readpct 70] [-seed 7]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 
-	"chanos"
-	"chanos/internal/core"
-	"chanos/internal/kernel"
-	"chanos/internal/machine"
-	"chanos/internal/net"
-	"chanos/internal/store"
-	"chanos/internal/telemetry"
+	"chanos/internal/dump"
 )
 
 func main() {
@@ -36,56 +36,49 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
 		replReads  = flag.Bool("replica-reads", false, "with -replicas 1: serve a second GET-only fleet from the replica's bounded-staleness read port")
 		statsEvery = flag.Float64("stats-every", 0, "print a live telemetry line every N simulated ms (0 = off)")
+		failWrites = flag.Int("fail-writes", 0, "fault injection: fail the next N log-device write completions after prefill")
+		failShard  = flag.Int("fail-shard", 0, "which shard's log device the injected failures hit")
+		dumpOnFail = flag.String("dump-on-fail", "", "write a machine core dump into this directory on any fail-stop, stall or invariant violation")
 	)
 	flag.Parse()
 	if *replReads && *replicas == 0 {
 		fmt.Println("kvserver: -replica-reads needs -replicas 1; ignoring")
 		*replReads = false
 	}
-
-	sys := chanos.New(*cores, chanos.Config{Seed: *seed})
-	defer sys.Shutdown()
-	k := kernel.New(sys.RT, kernel.Config{})
-	nic := sys.NewNIC(machine.NICParams{})
-	wp := net.DefaultWireParams()
-	wp.Seed = *seed
-	wp.LossProb = *loss
-	nw := sys.NewNetwork(nic, wp)
-	st := sys.NewNetStack(k, nic, net.StackParams{})
-	kv := sys.NewStore(k, store.Params{LogBlocks: *logBlocks})
-	var rm *store.ReplicaMachine
-	if *replicas > 0 {
-		if *replicas > 1 {
-			fmt.Println("kvserver: only one replica machine is supported; running with 1")
-		}
-		rwp := net.DefaultWireParams()
-		rwp.Seed = *seed + 1
-		readPort := 0
-		if *replReads {
-			readPort = 6390
-		}
-		rm = store.NewReplicaMachine(sys.Eng, store.ReplicaMachineParams{
-			Cores: *cores, Seed: *seed + 2, ReadPort: readPort,
-			Store: store.Params{Shards: kv.Shards(), LogBlocks: *logBlocks},
-			Wire:  rwp,
-		}, nil)
-		defer rm.Shutdown()
-		kv.AttachReplica(rm)
+	if *replicas > 1 {
+		fmt.Println("kvserver: only one replica machine is supported; running with 1")
+		*replicas = 1
 	}
-	l := st.Listen(6379)
 
-	// The telemetry plane: statd sweeps the store, netstack and NIC shard
-	// metric sets. Registered sources also serve the STATS wire verb and
-	// the final report below; enabling it does not perturb the run (the
-	// collector costs the machine zero simulated cycles).
-	sd := telemetry.NewStatd(sys.Eng)
-	sd.Register("store", kv)
-	sd.Register("net", st)
-	sd.Register("nic", nic)
-	kv.AttachStatd(sd)
+	w := dump.Build(*seed, dump.Config{
+		Cores: *cores, Clients: *clients, Requests: *requests,
+		ReadPct: *readPct, Keys: *keys, LogBlocks: *logBlocks,
+		Replicas: *replicas, ReplicaReads: *replReads, Loss: *loss,
+		FailWrites: *failWrites, FailShard: *failShard,
+	})
+	defer w.Close()
+	sys, kv, st, sd := w.Sys, w.KV, w.Stack, w.SD
+
+	// Arm automatic core dumps: a shard fail-stop captures the machine
+	// the instant it happens (an engine observer event, invisible to the
+	// replay clock); stalls and conservation violations dump from host
+	// context after the run loop below.
+	writeDump := func(d *dump.Dump) {
+		path := filepath.Join(*dumpOnFail, d.FileName())
+		if err := dump.WriteFile(path, d, kv); err != nil {
+			fmt.Printf("  dump FAILED: %v\n", err)
+			return
+		}
+		fmt.Printf("  dump written: %s\n", path)
+		fmt.Printf("    reason: %s\n", d.Reason)
+		fmt.Printf("    replay: %s\n", dump.ReplayCommand(path))
+	}
+	if *dumpOnFail != "" {
+		w.C.OnFailStop(writeDump)
+	}
 
 	mode := "local-only durability"
-	if rm != nil {
+	if w.RM != nil {
 		mode = "quorum replication to a second machine"
 		if *replReads {
 			mode += " + bounded-staleness replica reads"
@@ -93,83 +86,14 @@ func main() {
 	}
 	fmt.Printf("kvserver: %d cores, %d store shards, %d net shards, %d clients, %d keys, %d%% reads, seed %d, %s\n",
 		*cores, kv.Shards(), st.Shards(), *clients, *keys, *readPct, *seed, mode)
-
-	// Accept loop: every connection gets a serving thread.
-	sys.Boot("accept", func(t *chanos.Thread) {
-		for {
-			c, ok := l.Accept(t)
-			if !ok {
-				return
-			}
-			t.Spawn(fmt.Sprintf("kv.%d", c.ID()), func(ht *core.Thread) {
-				store.ServeConn(ht, c, kv)
-			})
-		}
-	})
-
-	// Prefill the keyspace, then drive the shared seeded workload
-	// generator (same one experiment E15 measures): two-tier key
-	// popularity, mixed GET/PUT, responses checked as they arrive.
-	wl := store.NewWorkload(*seed, *clients, *keys, *readPct, 256)
-	filled := false
-	sys.Boot("prefill", func(t *chanos.Thread) {
-		wl.Prefill(t, kv)
-		filled = true
-	})
-	for !filled {
-		sys.RunFor(sys.Cycles(0.0005))
-	}
-	prefillMs := sys.Seconds(sys.Now()) * 1e3
-
-	// With -replica-reads, a second GET-only fleet reads the same
-	// keyspace from the replica machine's bounded-staleness port while
-	// the primary fleet runs the mixed workload.
-	var rPool *net.ClientPool
-	var rGets, rRefused uint64
-	if *replReads {
-		rwl := store.NewWorkload(*seed+5, *clients, *keys, 100, 256)
-		rPool = net.NewClientPool(rm.NW, net.ClientParams{
-			Port:        6390,
-			Clients:     *clients,
-			ReqsPerConn: 8,
-			ThinkCycles: 2000,
-			Seed:        *seed + 5,
-			MakeReq:     rwl.MakeReq,
-			OnResp: func(client, req int, payload core.Msg) {
-				if resp, ok := payload.(store.KVResponse); ok {
-					if resp.OK {
-						rGets++
-					} else {
-						rRefused++
-					}
-				}
-			},
-		})
+	if *failWrites > 0 {
+		fmt.Printf("kvserver: fault armed: next %d write completions on shard %d's log device will fail\n",
+			*failWrites, *failShard)
 	}
 
-	var notFound, errs uint64
-	pool := net.NewClientPool(nw, net.ClientParams{
-		Port:        6379,
-		Clients:     *clients,
-		ReqsPerConn: 8,
-		ThinkCycles: 2000,
-		Seed:        *seed,
-		MakeReq:     wl.MakeReq,
-		OnResp: func(client, req int, payload core.Msg) {
-			resp, ok := payload.(store.KVResponse)
-			if !ok || resp.Err != "" {
-				errs++
-				return
-			}
-			if !resp.Found && resp.OK && resp.Ver == 0 {
-				notFound++
-			}
-		},
-	})
-
-	// Serve until the fleet has its responses — or stops making progress.
-	// With -stats-every, a live telemetry line prints between run slices:
-	// the same snapshot path the STATS wire verb serves.
+	// With -stats-every, a live telemetry line prints between run slices
+	// (host context; the collector costs the machine zero simulated
+	// cycles): the same snapshot path the STATS wire verb serves.
 	slice := sys.Cycles(0.0002)
 	statsStride := 0
 	if *statsEvery > 0 {
@@ -177,35 +101,34 @@ func main() {
 	}
 	lastResp, lastHits, lastMisses := uint64(0), uint64(0), uint64(0)
 	lastAt := sys.Now()
-	stalled := 0
-	for i := 0; pool.Responses < uint64(*requests); i++ {
-		before := pool.Responses
-		sys.RunFor(slice)
-		if statsStride > 0 && (i+1)%statsStride == 0 {
-			snap := sd.SnapshotNow()
-			stc := snap.Service("store")
-			hits, misses := stc.Total("CacheHits"), stc.Total("CacheMisses")
-			hr := 0.0
-			if d := (hits - lastHits) + (misses - lastMisses); d > 0 {
-				hr = float64(hits-lastHits) / float64(d)
-			}
-			secs := sys.Seconds(sys.Now() - lastAt)
-			fmt.Printf("  [%7.2f ms] state=%-11s ops/sec=%-9.0f hit=%3.0f%% repl-lag=%-6d in-flight=%d\n",
-				sys.Seconds(sys.Now())*1e3, kv.Lifecycle(),
-				float64(pool.Responses-lastResp)/secs, hr*100,
-				stc.Total("ReplLag"), stc.Total("WritesInFlight"))
-			lastResp, lastHits, lastMisses, lastAt = pool.Responses, hits, misses, sys.Now()
+	w.OnSlice = func(i int) {
+		if statsStride == 0 || (i+1)%statsStride != 0 {
+			return
 		}
-		if pool.Responses == before {
-			stalled++
-		} else {
-			stalled = 0
+		snap := sd.SnapshotNow()
+		stc := snap.Service("store")
+		hits, misses := stc.Total("CacheHits"), stc.Total("CacheMisses")
+		hr := 0.0
+		if d := (hits - lastHits) + (misses - lastMisses); d > 0 {
+			hr = float64(hits-lastHits) / float64(d)
 		}
-		if stalled >= 50 {
-			fmt.Printf("\n  stalled: no responses for %.1f simulated ms; giving up\n",
-				50*sys.Seconds(slice)*1e3)
-			break
-		}
+		secs := sys.Seconds(sys.Now() - lastAt)
+		fmt.Printf("  [%7.2f ms] state=%-11s ops/sec=%-9.0f hit=%3.0f%% repl-lag=%-6d in-flight=%d\n",
+			sys.Seconds(sys.Now())*1e3, kv.Lifecycle(),
+			float64(w.Pool.Responses-lastResp)/secs, hr*100,
+			stc.Total("ReplLag"), stc.Total("WritesInFlight"))
+		lastResp, lastHits, lastMisses, lastAt = w.Pool.Responses, hits, misses, sys.Now()
+	}
+
+	// Prefill the keyspace, then drive the shared seeded workload
+	// generator (same one experiment E15 measures): two-tier key
+	// popularity, mixed GET/PUT, responses checked as they arrive.
+	r := w.Run()
+	pool := r.Pool
+	prefillMs := sys.Seconds(r.PrefillCycles) * 1e3
+	if r.Stalled {
+		fmt.Printf("\n  stalled: no responses for %.1f simulated ms; giving up\n",
+			50*sys.Seconds(slice)*1e3)
 	}
 
 	// The final report reads one telemetry snapshot — the same folded
@@ -224,7 +147,7 @@ func main() {
 		diskBytes += d.BytesMoved
 	}
 	fmt.Printf("\n  served       %8d requests over %d connections (%d not-found, %d errors)\n",
-		pool.Responses, pool.Completed, notFound, errs)
+		pool.Responses, pool.Completed, r.NotFound, r.Errs)
 	fmt.Printf("  elapsed      %8.2f simulated ms (%.2f ms prefill)  (%.0f ops/sec)\n",
 		elapsed*1e3, prefillMs, float64(pool.Responses)/elapsed)
 	fmt.Printf("  latency      %8.1f us p50   %.1f us p99\n",
@@ -242,37 +165,45 @@ func main() {
 		kc.CompactionsDone, kc.CompactedRecords, kc.LogFull, kv.LiveRatio())
 	stc := st.Counters()
 	fmt.Printf("  wire         %8d pkts in, %d pkts out, %d retransmits, %d window-deferred, %d rx drops\n",
-		nw.ToHost, nw.ToClient, stc.Retransmits+nw.Retransmits, nw.WindowDeferred, nic.Counters().RxDrops)
+		w.NW.ToHost, w.NW.ToClient, stc.Retransmits+w.NW.Retransmits, w.NW.WindowDeferred, w.NIC.Counters().RxDrops)
 	// The lifecycle state prints unconditionally: "solo" (never
 	// replicated) and "failed-over"/"syncing" (degraded) are different
 	// operational situations, and a 0/0 replication line used to make
 	// them indistinguishable.
-	if rm == nil {
+	if w.RM == nil {
 		fmt.Printf("  replication  state=%s (no replica attached; acks are local-flush only)\n", kv.Lifecycle())
 	} else {
 		var rWrites uint64
-		for _, d := range rm.KV.Disks() {
+		for _, d := range w.RM.KV.Disks() {
 			rWrites += d.Writes
 		}
-		rc := rm.KV.Counters()
+		rc := w.RM.KV.Counters()
 		fmt.Printf("  replication  state=%s; %d batches (%d records) shipped, %d acks, %d adverts; %d shard heals, %d detaches\n",
 			kv.Lifecycle(), kc.ReplBatches, kc.ReplRecords, kc.ReplAcks, kc.ReplAdverts, kc.ReplHeals, kc.ReplDetached)
 		fmt.Printf("  replica      %8d applied (%d stale), %d disk writes\n",
 			rc.ReplApplied, rc.ReplStale, rWrites)
-		if rPool != nil {
+		if r.RPool != nil {
 			fmt.Printf("  repl reads   %8d GETs served over %d conns (%d refused: lag/sync), %d lag-refused, %d durability waits, p99 %.1f us\n",
-				rGets, rPool.Completed, rRefused, rc.RefusedSyncing+rc.RefusedLag, rc.ReplicaWaits, us(rPool.Lat.Percentile(99)))
+				r.ReplicaGets, r.RPool.Completed, r.ReplicaRefused, rc.RefusedSyncing+rc.RefusedLag, rc.ReplicaWaits, us(r.RPool.Lat.Percentile(99)))
 		}
 	}
 	// Conservation self-check over the final snapshot: every read and
 	// write arrival must be accounted for by exactly one terminal counter
-	// or in-flight gauge.
-	if bad := snap.Conservation(); len(bad) > 0 {
-		for _, b := range bad {
+	// or in-flight gauge. A violation is an invariant failure — with
+	// -dump-on-fail it produces a core dump like any fail-stop.
+	if len(r.ConservationBad) > 0 {
+		for _, b := range r.ConservationBad {
 			fmt.Printf("  CONSERVATION VIOLATED: %s\n", b)
 		}
 	} else {
 		fmt.Printf("  telemetry    snapshot seq=%d at %.2f ms; conservation laws hold\n",
 			snap.Seq, sys.Seconds(snap.AtCycles)*1e3)
+	}
+	if *dumpOnFail != "" && !w.C.Dumped() {
+		if len(r.ConservationBad) > 0 {
+			writeDump(w.C.Snapshot("invariant: telemetry conservation violated"))
+		} else if r.Stalled {
+			writeDump(w.C.Snapshot("stall: fleet made no progress for 50 slices"))
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package dump
+
+import (
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/machine"
+	"chanos/internal/net"
+	"chanos/internal/sim"
+	"chanos/internal/store"
+	"chanos/internal/telemetry"
+)
+
+// Collector holds references to every dumpable subsystem of one
+// machine (plus its replica's store, if attached) and captures them
+// into a Dump. Snapshot must run between engine events — host context
+// or an observer event — the same single-goroutine window every
+// telemetry collector uses.
+type Collector struct {
+	Eng     *sim.Engine
+	RT      *core.Runtime
+	NIC     *machine.NIC
+	Stack   *net.Stack
+	Store   *store.Store
+	Replica *store.Store
+	Statd   *telemetry.Statd
+
+	Seed   uint64
+	Config Config
+
+	dumped bool
+}
+
+// Snapshot captures the whole machine now. EventCount is the engine's
+// counted-event clock at this instant — the replay coordinate.
+func (c *Collector) Snapshot(reason string) *Dump {
+	d := &Dump{
+		Version:    Version,
+		Reason:     reason,
+		Seed:       c.Seed,
+		Config:     c.Config,
+		EventCount: c.Eng.Fired(),
+		AtCycles:   c.Eng.Now(),
+	}
+	if c.RT != nil {
+		d.Cores, d.Threads = c.RT.SnapshotSched()
+	}
+	if c.NIC != nil {
+		d.NIC = c.NIC.SnapshotQueues()
+	}
+	if c.Stack != nil {
+		d.Net = c.Stack.SnapshotShards()
+	}
+	if c.Store != nil {
+		d.Store = c.Store.SnapshotShards()
+	}
+	if c.Replica != nil {
+		d.Replica = c.Replica.SnapshotShards()
+	}
+	if c.Statd != nil {
+		snap := *c.Statd.SnapshotNow()
+		// Seq counts host-side scrapes, which differ between an original
+		// run and its replay without the machine differing; normalise so
+		// dump equality means machine equality.
+		snap.Seq = 0
+		d.Telemetry = &snap
+	}
+	return d
+}
+
+// OnFailStop arms automatic core dumps: when any store shard (primary
+// or replica) fail-stops, an observer event is scheduled at the current
+// instant, and when it runs — after the failing event completes, with
+// the counted-event clock untouched — fn receives the full machine
+// dump. Only the first fail-stop dumps; cascades reference the same
+// root cause. The observer event never perturbs the counted event
+// sequence, so arming this changes nothing about the run.
+func (c *Collector) OnFailStop(fn func(*Dump)) {
+	arm := func(s *store.Store, who string) {
+		if s == nil {
+			return
+		}
+		s.FailStopHook = func(shard int, errMsg string) {
+			if c.dumped {
+				return
+			}
+			c.dumped = true
+			reason := fmt.Sprintf("fail-stop: %s shard %d: %s", who, shard, errMsg)
+			c.Eng.ObserveAt(c.Eng.Now(), func() { fn(c.Snapshot(reason)) })
+		}
+	}
+	arm(c.Store, "store")
+	arm(c.Replica, "replica store")
+}
+
+// Dumped reports whether the fail-stop hook has fired.
+func (c *Collector) Dumped() bool { return c.dumped }

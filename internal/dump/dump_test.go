@@ -1,0 +1,178 @@
+package dump
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is a small kvload world with one injected write failure on
+// shard 0's log device: the first flush there fails, the shard
+// fail-stops, and the armed collector writes a dump.
+func testConfig() Config {
+	return Config{
+		Cores: 8, Clients: 8, Requests: 200, ReadPct: 70,
+		Keys: 64, ValBytes: 64, LogBlocks: 64,
+		FailWrites: 1, FailShard: 0,
+	}
+}
+
+// failStopDump runs the scenario to its injected fail-stop and returns
+// the automatically captured dump.
+func failStopDump(t *testing.T, seed uint64) *Dump {
+	t.Helper()
+	w := Build(seed, testConfig())
+	defer w.Close()
+	var d *Dump
+	w.C.OnFailStop(func(got *Dump) { d = got })
+	w.Run()
+	if d == nil {
+		t.Fatal("injected write failure produced no fail-stop dump")
+	}
+	return d
+}
+
+// TestDumpStructural is the first test level: a crash dump must be
+// schema-valid and carry non-empty per-shard entries in every section.
+func TestDumpStructural(t *testing.T) {
+	d := failStopDump(t, 7)
+	if bad := d.Validate(); len(bad) > 0 {
+		t.Fatalf("fail-stop dump invalid: %v", bad)
+	}
+	if !strings.Contains(d.Reason, "fail-stop: store shard 0") {
+		t.Fatalf("reason %q does not name the failed shard", d.Reason)
+	}
+	if d.EventCount == 0 || d.AtCycles == 0 {
+		t.Fatalf("replay coordinate missing: event_count=%d at_cycles=%d", d.EventCount, d.AtCycles)
+	}
+	var sawFailed, sawFlight, sawIndex, sawBlocks bool
+	for _, sh := range d.Store {
+		if sh.Failed != "" && sh.Lifecycle == 4 {
+			sawFailed = true
+		}
+		if len(sh.Flight) > 0 {
+			sawFlight = true
+		}
+		if len(sh.Index) > 0 {
+			sawIndex = true
+		}
+		if len(sh.Disk.Blocks) > 0 {
+			sawBlocks = true
+		}
+	}
+	if !sawFailed {
+		t.Error("no store shard recorded as failed")
+	}
+	if !sawFlight {
+		t.Error("no flight-recorder ring shipped in the dump")
+	}
+	if !sawIndex {
+		t.Error("no shard index captured")
+	}
+	if !sawBlocks {
+		t.Error("no platter contents captured")
+	}
+	if len(d.Threads) == 0 || len(d.Cores) == 0 {
+		t.Error("scheduler sections empty")
+	}
+	// The dump must round-trip through its own encoding.
+	d2, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if !Equal(d, d2) {
+		t.Fatalf("round-trip not equal: %v", Diff(d, d2))
+	}
+}
+
+// TestDumpDeterminism is the second level: the same seed and config
+// must produce a byte-identical dump — the (seed, config, event-count)
+// triple is only a reproduction recipe if nothing else leaks in.
+func TestDumpDeterminism(t *testing.T) {
+	a := failStopDump(t, 11)
+	b := failStopDump(t, 11)
+	if a.EventCount != b.EventCount {
+		t.Fatalf("fail-stop event count differs: %d vs %d", a.EventCount, b.EventCount)
+	}
+	if !Equal(a, b) {
+		t.Fatalf("same seed+config, different dump:\n%s", strings.Join(Diff(a, b), "\n"))
+	}
+	c := failStopDump(t, 12)
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical dumps")
+	}
+}
+
+// TestDumpDifferential is the third level: replaying a dump to its
+// recorded event count and re-dumping must reproduce the dump exactly —
+// the time-travel contract end to end.
+func TestDumpDifferential(t *testing.T) {
+	orig := failStopDump(t, 7)
+	w, _, err := Replay(orig)
+	if w != nil {
+		defer w.Close()
+	}
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := w.Sys.Eng.Fired(); got != orig.EventCount {
+		t.Fatalf("replay halted at event %d, recorded %d", got, orig.EventCount)
+	}
+	if got := w.Sys.Eng.Now(); got != orig.AtCycles {
+		t.Fatalf("replay halted at cycle %d, dump captured at %d", got, orig.AtCycles)
+	}
+	redump := w.C.Snapshot(orig.Reason)
+	if !Equal(orig, redump) {
+		t.Fatalf("replayed state differs from dump:\n%s", strings.Join(Diff(orig, redump), "\n"))
+	}
+}
+
+// TestDumpOnDemand: a healthy world dumps on demand too, and the
+// workload's conservation self-check holds.
+func TestDumpOnDemand(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailWrites = 0
+	w := Build(3, cfg)
+	defer w.Close()
+	r := w.Run()
+	if r.Responses < uint64(cfg.Requests) {
+		t.Fatalf("served %d/%d", r.Responses, cfg.Requests)
+	}
+	if len(r.ConservationBad) > 0 {
+		t.Fatalf("conservation violated: %v", r.ConservationBad)
+	}
+	d := w.C.Snapshot("on-demand")
+	if bad := d.Validate(); len(bad) > 0 {
+		t.Fatalf("on-demand dump invalid: %v", bad)
+	}
+}
+
+// TestDumpDiffAndVersion: Diff localises changes, Validate and Decode
+// enforce the schema version policy.
+func TestDumpDiffAndVersion(t *testing.T) {
+	d := failStopDump(t, 7)
+	d2, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Store[0].Counters.Gets++
+	d2.Seed = 99
+	diffs := Diff(d, d2)
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 diff lines, got %v", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "seed") || !strings.Contains(joined, "store[0].counters") {
+		t.Fatalf("diff did not localise the changes: %v", diffs)
+	}
+
+	d2.Version = Version + 1
+	if _, err := Decode(d2.Encode()); err == nil {
+		t.Fatal("Decode accepted a newer schema version")
+	}
+	d3 := *d
+	d3.EventCount = 0
+	d3.Telemetry = nil
+	if bad := d3.Validate(); len(bad) < 2 {
+		t.Fatalf("Validate missed problems: %v", bad)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chanos/internal/core"
+	"chanos/internal/dump"
 	"chanos/internal/kernel"
 	"chanos/internal/machine"
 	"chanos/internal/net"
@@ -112,6 +113,17 @@ func e15Run(o Options, cores, shards, clients, readPct int, window sim.Time) e15
 	}
 	snap := sd.SnapshotNow()
 	o.publishSnapshot(snap)
+	if len(snap.Conservation()) > 0 {
+		o.dumpInvariant(&dump.Collector{
+			Eng: w.eng, RT: w.rt, NIC: nic, Stack: stk, Store: kv, Statd: sd,
+			Seed: o.seed(),
+			Config: dump.Config{
+				Scenario: "e15-store", Cores: cores, Shards: shards,
+				Clients: clients, ReadPct: readPct,
+				Keys: e15NumKeys(o), ValBytes: e15ValBytes,
+			},
+		}, "invariant: E15 telemetry conservation violated")
+	}
 	return e15Result{
 		shards:      kv.Shards(),
 		opsPerSec:   w.opsPerSec(pool.Responses, window),

@@ -6,6 +6,7 @@ import (
 
 	"chanos/internal/blockdev"
 	"chanos/internal/core"
+	"chanos/internal/dump"
 	"chanos/internal/kernel"
 	"chanos/internal/machine"
 	"chanos/internal/net"
@@ -32,6 +33,8 @@ const (
 // replica machine.
 type e17World struct {
 	w       *world
+	nic     *machine.NIC
+	stk     *net.Stack
 	nw      *net.Network
 	kv      *store.Store
 	rm      *store.ReplicaMachine // nil until attach
@@ -79,7 +82,28 @@ func e17Boot(cores, shards, clients, readPct int, seed uint64, datas []map[int][
 		}
 	})
 	wl := store.NewWorkload(seed, clients, e17NumKeys, readPct, e17ValBytes)
-	return &e17World{w: w, nw: nw, kv: kv, wl: wl, sd: sd, p: p, clients: clients, seed: seed}
+	return &e17World{w: w, nic: nic, stk: stk, nw: nw, kv: kv, wl: wl, sd: sd, p: p, clients: clients, seed: seed}
+}
+
+// collector wires the world's subsystems (and replica, once attached)
+// into a machine core-dump collector. E17 worlds boot through the
+// experiment harness, not the kvload scenario, so their dumps validate
+// and inspect but do not replay — the scenario stamp says so.
+func (ew *e17World) collector(seed uint64) *dump.Collector {
+	c := &dump.Collector{
+		Eng: ew.w.eng, RT: ew.w.rt, NIC: ew.nic, Stack: ew.stk,
+		Store: ew.kv, Statd: ew.sd,
+		Seed: seed,
+		Config: dump.Config{
+			Scenario: "e17-heal", Cores: ew.w.m.NumCores(),
+			Shards: ew.p.Shards, Clients: ew.clients,
+			Keys: e17NumKeys, ValBytes: e17ValBytes,
+		},
+	}
+	if ew.rm != nil {
+		c.Replica = ew.rm.KV
+	}
+	return c
 }
 
 // scrape issues one live STATS request over the wire — a fresh endpoint
@@ -255,6 +279,10 @@ func e17HealCycles(o Options, cycles int, window sim.Time) []e17Cycle {
 			cy.scrapeBad = len(snap.Conservation())
 			cy.midHeal = !ew.kv.ReplCaughtUp()
 			o.publishSnapshot(snap)
+			if cy.scrapeBad > 0 {
+				o.dumpInvariant(ew.collector(seed),
+					"invariant: E17 mid-heal STATS scrape violated conservation laws")
+			}
 		}
 		healed := false
 		for step := 0; step < 4000; step++ {

@@ -11,9 +11,11 @@ package exp
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"chanos/internal/core"
+	"chanos/internal/dump"
 	"chanos/internal/machine"
 	"chanos/internal/sim"
 	"chanos/internal/stats"
@@ -32,6 +34,25 @@ type Options struct {
 	// artifact carries the machine's full metric state, not just the
 	// table cells cut from it.
 	SnapshotSink func(*telemetry.Snapshot)
+	// DumpDir, when set, is where instrumented experiments write a
+	// machine core dump if an invariant gate fails mid-run
+	// (chanos-bench -dump-on-fail): the table row shows the violation,
+	// the dump carries the machine that produced it.
+	DumpDir string
+}
+
+// dumpInvariant captures c's machine into DumpDir (no-op without one).
+func (o Options) dumpInvariant(c *dump.Collector, reason string) {
+	if o.DumpDir == "" {
+		return
+	}
+	d := c.Snapshot(reason)
+	path := filepath.Join(o.DumpDir, d.FileName())
+	if err := dump.WriteFile(path, d, c.Store); err != nil {
+		fmt.Printf("  dump FAILED: %v\n", err)
+		return
+	}
+	fmt.Printf("  dump written: %s\n    reason: %s\n", path, reason)
 }
 
 // publishSnapshot hands a snapshot to the sink, if any.

@@ -1,0 +1,28 @@
+package machine
+
+import "chanos/internal/sim"
+
+// NICQueueState is one RX/TX queue pair's device state as captured
+// into a machine core dump: ring occupancy, the TX serialisation
+// horizon, and the queue's counter set.
+type NICQueueState struct {
+	Queue       int              `json:"queue"`
+	RxOccupancy int              `json:"rx_occupancy"`
+	TxBusyUntil sim.Time         `json:"tx_busy_until"`
+	Counters    NICQueueCounters `json:"counters"`
+}
+
+// SnapshotQueues captures every queue pair in queue order. Read-only;
+// safe between engine events.
+func (n *NIC) SnapshotQueues() []NICQueueState {
+	out := make([]NICQueueState, n.P.Queues)
+	for q := 0; q < n.P.Queues; q++ {
+		out[q] = NICQueueState{
+			Queue:       q,
+			RxOccupancy: n.rxOcc[q],
+			TxBusyUntil: n.txBusyUntil[q],
+			Counters:    n.qm[q],
+		}
+	}
+	return out
+}

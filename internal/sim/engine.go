@@ -22,6 +22,13 @@ type Event struct {
 	fn   func()
 	seq  uint64
 	idx  int // heap index, -1 once popped or canceled
+	// observer events fire normally but are invisible to the event
+	// count: Fired() does not include them and StopAtFired does not halt
+	// on them. They are for machinery that watches the machine (statd
+	// sweeps, dump triggers) — with the count blind to them, "replay to
+	// event N" lands on the same instant whether observation was armed
+	// or not.
+	observer bool
 }
 
 // Canceled reports whether Cancel was called before the event fired.
@@ -35,6 +42,14 @@ type Engine struct {
 	pq     eventHeap
 	fired  uint64
 	halted bool
+
+	// stopAtFired, when non-zero, halts the run loop the moment `fired`
+	// reaches it — BEFORE the next counted event pops, so the machine
+	// rests exactly at the state after counted event N. stopReached
+	// latches when the limit trips (it also suppresses RunUntil's final
+	// clock-force, so Now() stays at the last counted event's time).
+	stopAtFired uint64
+	stopReached bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -45,8 +60,25 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Fired returns the number of events executed so far.
+// Fired returns the number of counted events executed so far. Observer
+// events (ObserveAt/ObserveAfter) are excluded: the count is the
+// replay coordinate a core dump records, and it must be identical with
+// observation on or off.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// StopAtFired arms a halt just before counted event n+1: once Fired()
+// reaches n, Step refuses to pop further events and Run/RunUntil
+// return with the clock at counted event n's time. 0 disarms. This is
+// the time-travel half of the dump contract — replaying a seed with
+// StopAtFired(dump.EventCount) parks the machine in exactly the
+// dumped state.
+func (e *Engine) StopAtFired(n uint64) {
+	e.stopAtFired = n
+	e.stopReached = n > 0 && e.fired >= n
+}
+
+// StopReached reports whether an armed StopAtFired limit has tripped.
+func (e *Engine) StopReached() bool { return e.stopReached }
 
 // Pending returns the number of scheduled, uncanceled events.
 func (e *Engine) Pending() int { return len(e.pq) }
@@ -71,6 +103,22 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// ObserveAt schedules an observer event at absolute time t: it fires
+// like any event but does not advance Fired() and cannot trip
+// StopAtFired. Observer callbacks must not mutate simulated machine
+// state — they exist so telemetry sweeps and dump triggers leave the
+// replay coordinate system untouched.
+func (e *Engine) ObserveAt(t Time, fn func()) *Event {
+	ev := e.At(t, fn)
+	ev.observer = true
+	return ev
+}
+
+// ObserveAfter schedules an observer event d cycles from now.
+func (e *Engine) ObserveAfter(d Time, fn func()) *Event {
+	return e.ObserveAt(e.now+d, fn)
+}
+
 // Cancel removes a scheduled event. Canceling an already-fired or
 // already-canceled event is a harmless no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -83,8 +131,17 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// Step runs the single earliest event. It returns false if no events remain.
+// Step runs the single earliest event. It returns false if no events
+// remain or an armed StopAtFired limit has been reached.
 func (e *Engine) Step() bool {
+	if e.stopAtFired > 0 && e.fired >= e.stopAtFired {
+		// The machine rests exactly after counted event N: nothing more
+		// pops — not even pending observer events, which never mutate
+		// machine state anyway.
+		e.stopReached = true
+		e.halted = true
+		return false
+	}
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
 		if ev.fn == nil {
@@ -96,7 +153,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.When
 		fn := ev.fn
 		ev.fn = nil
-		e.fired++
+		if !ev.observer {
+			e.fired++
+		}
 		fn()
 		return true
 	}
@@ -122,7 +181,10 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		e.Step()
 	}
-	if e.now < t {
+	if e.now < t && !e.stopReached {
+		// A tripped StopAtFired pins the clock to the last counted
+		// event's time: replay must come to rest at the dumped instant,
+		// not at the caller's slice boundary.
 		e.now = t
 	}
 }

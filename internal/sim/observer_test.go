@@ -1,0 +1,129 @@
+package sim
+
+import "testing"
+
+// TestObserverEventsDoNotCount is the dump subsystem's coordinate
+// contract: observer events fire at their scheduled instants but leave
+// Fired() — the replay coordinate — untouched, so a run with observers
+// armed and one without count the same events in the same order.
+func TestObserverEventsDoNotCount(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(10, func() { order = append(order, "a") })
+	e.ObserveAt(10, func() { order = append(order, "obs") })
+	e.At(10, func() { order = append(order, "b") })
+	e.ObserveAfter(20, func() { order = append(order, "obs2") })
+	e.At(30, func() { order = append(order, "c") })
+	e.Run()
+	if e.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3 (observers must not count)", e.Fired())
+	}
+	want := []string{"a", "obs", "b", "obs2", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestObserverInsertionPreservesCountedOrder checks that interleaving
+// an observer between counted events shifts nothing: the Nth counted
+// event is the same event at the same time either way.
+func TestObserverInsertionPreservesCountedOrder(t *testing.T) {
+	run := func(observe bool) (times []Time, fired uint64) {
+		e := NewEngine()
+		var rearm func()
+		step := Time(0)
+		rearm = func() {
+			step += 5
+			if step > 50 {
+				return
+			}
+			e.After(5, func() { times = append(times, e.Now()); rearm() })
+		}
+		rearm()
+		if observe {
+			var sweep func()
+			sweep = func() { e.ObserveAfter(3, sweep) }
+			e.ObserveAfter(3, func() { sweep() })
+		}
+		e.RunUntil(40)
+		return times, e.Fired()
+	}
+	plainT, plainN := run(false)
+	obsT, obsN := run(true)
+	if plainN != obsN {
+		t.Fatalf("fired diverged: %d without observers, %d with", plainN, obsN)
+	}
+	if len(plainT) != len(obsT) {
+		t.Fatalf("counted schedule diverged: %v vs %v", plainT, obsT)
+	}
+	for i := range plainT {
+		if plainT[i] != obsT[i] {
+			t.Fatalf("counted schedule diverged at %d: %v vs %v", i, plainT, obsT)
+		}
+	}
+}
+
+// TestStopAtFired replays a run to event N: the engine halts with
+// exactly N counted events executed and the clock at event N's time,
+// ignoring the RunUntil target's clock-force.
+func TestStopAtFired(t *testing.T) {
+	build := func() (*Engine, *int) {
+		e := NewEngine()
+		n := new(int)
+		for i := Time(1); i <= 10; i++ {
+			e.At(i*10, func() { *n++ })
+		}
+		return e, n
+	}
+	e, n := build()
+	e.Run()
+	if *n != 10 || e.Fired() != 10 {
+		t.Fatalf("full run: n=%d fired=%d", *n, e.Fired())
+	}
+
+	e, n = build()
+	e.StopAtFired(4)
+	e.RunUntil(1000)
+	if !e.StopReached() {
+		t.Fatal("stop never reached")
+	}
+	if *n != 4 || e.Fired() != 4 {
+		t.Fatalf("stopped run: n=%d fired=%d, want 4/4", *n, e.Fired())
+	}
+	if e.Now() != 40 {
+		t.Fatalf("clock at %d, want 40 (the 4th event's time, not the RunUntil target)", e.Now())
+	}
+	// Further run calls stay parked.
+	e.RunUntil(2000)
+	e.Run()
+	if *n != 4 || e.Now() != 40 {
+		t.Fatalf("machine moved past the stop: n=%d now=%d", *n, e.Now())
+	}
+	// Disarming resumes exactly where the replay paused.
+	e.StopAtFired(0)
+	e.Run()
+	if *n != 10 || e.Fired() != 10 {
+		t.Fatalf("resume after disarm: n=%d fired=%d", *n, e.Fired())
+	}
+}
+
+// TestStopAtFiredSkipsPendingObservers: once the limit trips, pending
+// observer events do not fire either — the machine state a redump sees
+// is the state right after counted event N.
+func TestStopAtFiredSkipsPendingObservers(t *testing.T) {
+	e := NewEngine()
+	counted, observed := 0, 0
+	e.At(10, func() { counted++ })
+	e.ObserveAt(10, func() { observed++ })
+	e.At(20, func() { counted++ })
+	e.StopAtFired(1)
+	e.Run()
+	if counted != 1 || observed != 0 {
+		t.Fatalf("counted=%d observed=%d, want 1/0", counted, observed)
+	}
+}

@@ -473,6 +473,14 @@ type Store struct {
 	// flightDumps retains the flight-recorder dump of every shard that
 	// fail-stopped, in fail-stop order.
 	flightDumps []telemetry.FlightDump
+
+	// FailStopHook, when set, is called at the end of every shard
+	// fail-stop (after the shard's parked work has been drained) with
+	// the shard id and the condemning error. The dump subsystem uses it
+	// to schedule a whole-machine core dump as an engine OBSERVER event
+	// at the failing instant — the hook itself must not mutate
+	// simulated state.
+	FailStopHook func(shard int, err string)
 }
 
 // New registers the "store" service on k's kernel cores. disks carries
@@ -1144,6 +1152,9 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 			}
 		}
 		delete(sh.reads, b)
+	}
+	if sh.s.FailStopHook != nil {
+		sh.s.FailStopHook(sh.id, err)
 	}
 }
 

@@ -158,11 +158,13 @@ func (c *countingTracer) Counter(string, sim.Time, float64) { c.n++ }
 
 // TestTelemetryOnOffDeterminism is the observability contract: same seed,
 // telemetry fully on (statd registered, attached, sweeping, tracing) or
-// fully off, byte-identical op counts, final state and per-thread finish
-// times. Sweeps run in engine context and cost zero simulated cycles, so
-// the schedules cannot diverge.
+// fully off, byte-identical op counts, final state, per-thread finish
+// times AND final engine event count. Sweeps run as engine observer
+// events and cost zero simulated cycles, so neither the schedules nor
+// the counted-event clock — the core-dump replay coordinate — can
+// diverge. Arming the fail-stop dump hook must be equally invisible.
 func TestTelemetryOnOffDeterminism(t *testing.T) {
-	run := func(withTel bool) (StoreCounters, []string, []uint64, []sim.Time) {
+	run := func(withTel, armDump bool) (StoreCounters, []string, []uint64, []sim.Time, uint64) {
 		w := newSW(8, smallParams(), 41, nil)
 		defer w.rt.Shutdown()
 		var sd *telemetry.Statd
@@ -173,6 +175,11 @@ func TestTelemetryOnOffDeterminism(t *testing.T) {
 			sd.Register("store", w.kv)
 			w.kv.AttachStatd(sd)
 			sd.Start()
+		}
+		if armDump {
+			// A -dump-on-fail world differs only by this hook; with no
+			// fail-stop it must change nothing, including Fired().
+			w.kv.FailStopHook = func(shard int, err string) {}
 		}
 		const clients = 2
 		left := clients
@@ -221,11 +228,15 @@ func TestTelemetryOnOffDeterminism(t *testing.T) {
 			keys, vers = sc.Keys, sc.Vers
 		})
 		w.rt.Run()
-		return w.kv.Counters(), keys, vers, finish
+		return w.kv.Counters(), keys, vers, finish, w.eng.Fired()
 	}
 
-	offC, offK, offV, offT := run(false)
-	onC, onK, onV, onT := run(true)
+	offC, offK, offV, offT, offF := run(false, false)
+	onC, onK, onV, onT, onF := run(true, false)
+	_, _, _, _, armF := run(true, true)
+	if offF != onF || onF != armF {
+		t.Fatalf("engine event count diverged: off=%d on=%d dump-armed=%d", offF, onF, armF)
+	}
 	if offC != onC {
 		t.Fatalf("op counts diverged:\n  off: %+v\n  on:  %+v", offC, onC)
 	}

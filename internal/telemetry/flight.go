@@ -53,6 +53,10 @@ func (f *Flight) Record(at sim.Time, kind, key string, a, b uint64) {
 	f.n++
 }
 
+// Recorded returns the total number of events ever recorded (the ring
+// keeps only the tail; the count tells how much history was shed).
+func (f *Flight) Recorded() uint64 { return f.n }
+
 // Events returns the retained events oldest-first.
 func (f *Flight) Events() []FlightEvent {
 	if f.buf == nil || f.n == 0 {
@@ -79,6 +83,12 @@ type FlightDump struct {
 	AtCycles uint64        `json:"at_cycles"`
 	Recorded uint64        `json:"recorded"` // total events ever recorded
 	Events   []FlightEvent `json:"events"`   // retained tail, oldest first
+	// MachineDump, when set, is the path of the whole-machine core dump
+	// that carries this ring (internal/dump ships every shard's flight
+	// recorder inside the dump). Once a dump file holds the ring, the
+	// retained FlightDump drops its Events and keeps only this
+	// reference — one copy of the truth, not two.
+	MachineDump string `json:"machine_dump,omitempty"`
 }
 
 // Dump snapshots the ring into its serialisable form.

@@ -61,13 +61,17 @@ func (d *Statd) Register(name string, src Source) {
 	d.sources = append(d.sources, namedSource{name, src})
 }
 
-// Start arms the periodic sweep.
+// Start arms the periodic sweep. Sweep steps are OBSERVER events
+// (sim.Engine.ObserveAfter): they fire in engine context like any
+// event but stay invisible to the engine's counted-event clock, so a
+// core dump's (seed, config, event-count) replay coordinate is
+// identical with statd running or not.
 func (d *Statd) Start() {
 	if d.started {
 		return
 	}
 	d.started = true
-	d.eng.After(d.SweepCycles, d.beginSweep)
+	d.eng.ObserveAfter(d.SweepCycles, d.beginSweep)
 }
 
 // Stop halts future sweeps (the current one finishes).
@@ -97,7 +101,7 @@ func (d *Statd) step(si, shard int, perShard [][][]Value) {
 	if si == len(d.sources) {
 		d.publish(perShard)
 		if !d.stopped {
-			d.eng.After(d.SweepCycles, d.beginSweep)
+			d.eng.ObserveAfter(d.SweepCycles, d.beginSweep)
 		}
 		return
 	}
@@ -109,7 +113,7 @@ func (d *Statd) step(si, shard int, perShard [][][]Value) {
 		next()
 		return
 	}
-	d.eng.After(d.StepCycles, next)
+	d.eng.ObserveAfter(d.StepCycles, next)
 }
 
 func (d *Statd) publish(perShard [][][]Value) {
