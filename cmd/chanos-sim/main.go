@@ -40,7 +40,9 @@ func main() {
 		policy    = flag.String("sched", "locality", "placement policy: rr|random|least|locality|steal")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline here")
 
-		scenario   = flag.String("scenario", "", "named scenario: kvload (default: the VFS metadata workload)")
+		scenario   = flag.String("scenario", "", "named scenario: kvload, cluster (default: the VFS metadata workload)")
+		machines   = flag.Int("machines", 0, "cluster: serving nodes (0 = default)")
+		rf         = flag.Int("rf", 0, "cluster: replica machines per node")
 		shards     = flag.Int("shards", 0, "kvload: store shards (0 = default)")
 		requests   = flag.Int("requests", 0, "kvload: client requests to serve (0 = default)")
 		readPct    = flag.Int("readpct", 0, "kvload: GET share 0-100 (0 = default)")
@@ -65,6 +67,7 @@ func main() {
 			Requests: *requests, ReadPct: *readPct, Keys: *keys,
 			LogBlocks: *logBlocks, Replicas: *replicas, Loss: *loss,
 			FailWrites: *failWrites, FailShard: *failShard,
+			Machines: *machines, RF: *rf,
 		}, *seed, *dumpOnFail))
 	}
 
@@ -221,8 +224,11 @@ func main() {
 
 // runScenario boots and drives a named replayable scenario.
 func runScenario(name string, cfg dump.Config, seed uint64, dumpDir string) int {
+	if name == dump.ScenarioCluster {
+		return runClusterScenario(cfg, seed, dumpDir)
+	}
 	if name != dump.ScenarioKVLoad {
-		fmt.Fprintf(os.Stderr, "chanos-sim: unknown scenario %q (have: kvload)\n", name)
+		fmt.Fprintf(os.Stderr, "chanos-sim: unknown scenario %q (have: kvload, cluster)\n", name)
 		return 2
 	}
 	cfg.Scenario = name
@@ -256,6 +262,40 @@ func runScenario(name string, cfg dump.Config, seed uint64, dumpDir string) int 
 	return 0
 }
 
+// runClusterScenario boots and drives the N-machine cluster scenario.
+func runClusterScenario(cfg dump.Config, seed uint64, dumpDir string) int {
+	w := dump.BuildCluster(seed, cfg)
+	defer w.Close()
+	if dumpDir != "" {
+		w.C.OnFailStop(func(d *dump.Dump) {
+			path := filepath.Join(dumpDir, d.FileName())
+			if err := dump.WriteFile(path, d, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+				return
+			}
+			fmt.Printf("dump written: %s\n", path)
+			fmt.Printf("  reason: %s\n", d.Reason)
+			fmt.Printf("  replay: %s\n", dump.ReplayCommand(path))
+		})
+	}
+	cfg = w.Config()
+	fmt.Printf("chanos-sim: scenario cluster, %d nodes x (1 primary + %d replicas), %d cores each, %d clients, %d keys, %d%% reads, seed %d\n",
+		cfg.Machines, cfg.RF, cfg.Cores, cfg.Clients, cfg.Keys, cfg.ReadPct, seed)
+	r := w.Run()
+	fmt.Printf("  served %d/%d requests (%d redirects followed, %d errors, %d lost) in %.2f simulated ms\n",
+		r.Responses, cfg.Requests, w.Pool.Moved, r.Errs, w.Pool.Lost,
+		w.Cl.Nodes[0].M.Seconds(w.Cl.Eng.Now())*1e3)
+	fmt.Printf("  engine: %d counted events across %d machines\n",
+		w.Cl.Eng.Fired(), cfg.Machines*(1+cfg.RF))
+	if r.Stalled {
+		fmt.Println("  stalled: the fleet stopped making progress")
+	}
+	for _, b := range r.ConservationBad {
+		fmt.Printf("  CONSERVATION VIOLATED: %s\n", b)
+	}
+	return 0
+}
+
 // writeDump persists a core dump and prints the one-command replay line.
 func writeDump(dir string, d *dump.Dump, w *dump.World) {
 	path := filepath.Join(dir, d.FileName())
@@ -285,17 +325,34 @@ func replayDump(path, redumpPath string) int {
 	}
 	fmt.Printf("replay: scenario %s, seed %d, target event %d (%q)\n",
 		d.Config.Scenario, d.Seed, d.EventCount, d.Reason)
-	w, _, err := dump.Replay(d)
-	if w != nil {
-		defer w.Close()
+	var c *dump.Collector
+	if d.Config.Scenario == dump.ScenarioCluster {
+		w, _, err := dump.ReplayCluster(d)
+		if w != nil {
+			defer w.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+			return 1
+		}
+		c = w.C
+		fmt.Printf("replay: halted at event %d (recorded %d), cycle %d (%.3f simulated ms), %d machines\n",
+			c.Eng.Fired(), d.EventCount, c.Eng.Now(),
+			w.Cl.Nodes[0].M.Seconds(c.Eng.Now())*1e3, len(d.Machines)*(1+d.Config.RF))
+	} else {
+		w, _, err := dump.Replay(d)
+		if w != nil {
+			defer w.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
+			return 1
+		}
+		c = w.C
+		fmt.Printf("replay: halted at event %d (recorded %d), cycle %d (%.3f simulated ms)\n",
+			w.Sys.Eng.Fired(), d.EventCount, w.Sys.Now(), w.Sys.Seconds(w.Sys.Now())*1e3)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "chanos-sim: %v\n", err)
-		return 1
-	}
-	fmt.Printf("replay: halted at event %d (recorded %d), cycle %d (%.3f simulated ms)\n",
-		w.Sys.Eng.Fired(), d.EventCount, w.Sys.Now(), w.Sys.Seconds(w.Sys.Now())*1e3)
-	rd := w.C.Snapshot(d.Reason)
+	rd := c.Snapshot(d.Reason)
 	if dump.Equal(d, rd) {
 		fmt.Println("replay: machine state matches the dump exactly")
 	} else {

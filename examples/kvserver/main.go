@@ -34,6 +34,8 @@ func main() {
 		loss       = flag.Float64("loss", 0, "wire packet loss probability (each direction)")
 		logBlocks  = flag.Int("logblocks", 0, "per-shard log-region blocks (small values force compaction; 0 = default 8192)")
 		replicas   = flag.Int("replicas", 0, "replica machines (0 = local-only acks, 1 = quorum: writes ack only when durable on both machines)")
+		machines   = flag.Int("machines", 0, "cluster mode: N serving nodes routed by a shard map (0 = single machine)")
+		rf         = flag.Int("rf", 0, "cluster mode: replica machines per node, majority-quorum acks")
 		replReads  = flag.Bool("replica-reads", false, "with -replicas 1: serve a second GET-only fleet from the replica's bounded-staleness read port")
 		statsEvery = flag.Float64("stats-every", 0, "print a live telemetry line every N simulated ms (0 = off)")
 		failWrites = flag.Int("fail-writes", 0, "fault injection: fail the next N log-device write completions after prefill")
@@ -41,6 +43,13 @@ func main() {
 		dumpOnFail = flag.String("dump-on-fail", "", "write a machine core dump into this directory on any fail-stop, stall or invariant violation")
 	)
 	flag.Parse()
+	if *machines > 1 {
+		runCluster(*machines, *rf, *cores, *clients, *requests, *readPct, *keys, *seed)
+		return
+	}
+	if *rf > 0 {
+		fmt.Println("kvserver: -rf needs -machines N; ignoring")
+	}
 	if *replReads && *replicas == 0 {
 		fmt.Println("kvserver: -replica-reads needs -replicas 1; ignoring")
 		*replReads = false
@@ -182,6 +191,13 @@ func main() {
 			kv.Lifecycle(), kc.ReplBatches, kc.ReplRecords, kc.ReplAcks, kc.ReplAdverts, kc.ReplHeals, kc.ReplDetached)
 		fmt.Printf("  replica      %8d applied (%d stale), %d disk writes\n",
 			rc.ReplApplied, rc.ReplStale, rWrites)
+		// One row per attached replica machine: a healing or lagging
+		// minority must be visible even while the aggregate reads
+		// "quorum".
+		for _, rs := range kv.LifecycleReport() {
+			fmt.Printf("    slot %d     state=%-9s port %d; %d/%d shards synced, %d armed, max lag %d\n",
+				rs.Slot, rs.State, rs.Port, rs.Synced, rs.Shards, rs.Armed, rs.MaxLag)
+		}
 		if r.RPool != nil {
 			fmt.Printf("  repl reads   %8d GETs served over %d conns (%d refused: lag/sync), %d lag-refused, %d durability waits, p99 %.1f us\n",
 				r.ReplicaGets, r.RPool.Completed, r.ReplicaRefused, rc.RefusedSyncing+rc.RefusedLag, rc.ReplicaWaits, us(r.RPool.Lat.Percentile(99)))
@@ -205,5 +221,50 @@ func main() {
 		} else if r.Stalled {
 			writeDump(w.C.Snapshot("stall: fleet made no progress for 50 slices"))
 		}
+	}
+}
+
+// runCluster is kvserver's -machines mode: N serving nodes, each a
+// full machine with rf replica machines under majority-quorum acks,
+// routed by a versioned shard map. It boots through the
+// dump.ScenarioCluster world, so cluster runs share the single-machine
+// replay contract: same (seed, config) → same nine-machine run.
+func runCluster(machines, rf, cores, clients, requests, readPct, keys int, seed uint64) {
+	w := dump.BuildCluster(seed, dump.Config{
+		Machines: machines, RF: rf, Cores: cores, Clients: clients,
+		Requests: requests, ReadPct: readPct, Keys: keys,
+	})
+	defer w.Close()
+	cfg := w.Config()
+	fmt.Printf("kvserver: cluster of %d nodes x (1 primary + %d replicas) = %d machines, %d cores each, %d clients, %d keys, %d%% reads, seed %d\n",
+		cfg.Machines, cfg.RF, cfg.Machines*(1+cfg.RF), cfg.Cores, cfg.Clients, cfg.Keys, cfg.ReadPct, seed)
+
+	r := w.Run()
+	pool := w.Pool
+	n0 := w.Cl.Nodes[0]
+	elapsed := n0.M.Seconds(w.Cl.Eng.Now())
+	fmt.Printf("\n  served       %8d requests (%.0f ops/sec); %d redirects followed, %d map refreshes, %d retries, %d lost, %d errors\n",
+		pool.Ops, float64(pool.Ops)/elapsed, pool.Moved, pool.Refreshes, pool.Failed, pool.Lost, r.Errs)
+	fmt.Printf("  elapsed      %8.2f simulated ms, %d counted events on one engine\n",
+		elapsed*1e3, w.Cl.Eng.Fired())
+	if r.Stalled {
+		fmt.Println("  stalled: the fleet stopped making progress")
+	}
+	for _, n := range w.Cl.Nodes {
+		kc := n.KV.Counters()
+		fmt.Printf("  node %d       state=%-11s map v%d; %d gets, %d puts acked (%d quorum), %d redirects issued\n",
+			n.ID, n.KV.Lifecycle(), w.Cl.Map(n.ID).Version,
+			kc.Gets, kc.AckedWrites, kc.AckedQuorum, n.Moved)
+		for _, rs := range n.KV.LifecycleReport() {
+			fmt.Printf("    replica %d  state=%-9s port %d; %d/%d shards synced, %d armed, max lag %d\n",
+				rs.Slot, rs.State, rs.Port, rs.Synced, rs.Shards, rs.Armed, rs.MaxLag)
+		}
+	}
+	if len(r.ConservationBad) > 0 {
+		for _, b := range r.ConservationBad {
+			fmt.Printf("  CONSERVATION VIOLATED: %s\n", b)
+		}
+	} else {
+		fmt.Println("  telemetry    node 0 conservation laws hold")
 	}
 }

@@ -1,0 +1,184 @@
+// Live shard migration: move ownership of one key range from its
+// owner to another node while both keep serving, with zero acked-write
+// loss if either machine dies at any point.
+//
+// The protocol, run by a thread on the source:
+//
+//  1. DUAL. Install the migration record with dual-write on, then
+//     barrier: bump the request generation and wait for every request
+//     that entered apply before the record existed to finish. From
+//     here, every write into the range is forwarded to the destination
+//     (at its locally-minted version) before its client is acked.
+//  2. COPY. Walk every store shard's index over the range (Export) and
+//     stream each entry — values through the ordinary read path, so
+//     the sweep pays real cache-miss reads — as WPutV/WDelV at the
+//     source version. Tombstones travel too: the version floor must
+//     survive the move. Every record is either in the copy sweep (it
+//     was applied before the shard's export) or forwarded by its own
+//     dual-write (it entered after step 1) — often both, which is why
+//     the destination's version-aware apply must tolerate duplicates.
+//  3. FLIP. Send the bumped map to the destination (WMapSet). The
+//     instant it installs, the destination owns the range.
+//  4. DRAIN. Mark the migration done — new arrivals in the range
+//     bounce Moved{dest} — then barrier again: wait out requests that
+//     entered before the mark (their dual-write forwards complete
+//     before their clients are acked). Only then install the new map
+//     locally and drop the migration record; the routing check never
+//     has a gap where neither rule covers the range.
+//  5. BROADCAST. Send the map to every other node, fire-and-forget:
+//     a node with a stale map merely bounces clients one extra hop.
+//
+// Crash matrix:
+//   - Source dies mid-copy or pre-flip: the map never flipped, so the
+//     range still belongs to the source — every acked write is on its
+//     replica quorum's platters (the store's guarantee), and the
+//     destination holds only harmless unowned duplicates. Clients see
+//     bounded connect failures (wire RTO), not hangs.
+//   - Destination dies pre-flip: the forwarder's bounded retries turn
+//     it into failed calls; the migration aborts, dual-write stops,
+//     the source keeps owning. Writes acked during dual-write were
+//     durable on the source before the ack, so nothing is lost.
+//   - Either dies post-flip: ownership is wherever the map says; the
+//     new owner's quorum carries the acked writes.
+package cluster
+
+import (
+	"fmt"
+
+	"chanos/internal/core"
+	"chanos/internal/store"
+)
+
+// migration is the source node's in-flight migration record. Fields
+// are written by the migration thread and read by serving threads —
+// same runtime, deterministic interleave.
+type migration struct {
+	start, end string // range being moved; end "" = unbounded
+	dest       int
+	newVer     uint64 // map version the flip installs
+	fwd        *forwarder
+
+	dual   bool // serving threads forward range writes
+	done   bool // flipped: range requests bounce Moved{dest}
+	failed bool // destination unreachable: abort
+}
+
+func (m *migration) contains(key string) bool {
+	return key >= m.start && (m.end == "" || key < m.end)
+}
+
+// MigrationReport is the outcome of one migration.
+type MigrationReport struct {
+	Start, End string
+	Dest       int
+	Copied     int    // records streamed by the copy sweep
+	Aborted    bool   // destination lost: source kept ownership
+	MapVersion uint64 // the source's map version afterwards
+}
+
+// Migrate moves map range rangeIdx from its current owner to node
+// dest, live. It boots the protocol thread on the source and returns
+// immediately; drive the engine to completion and read the report via
+// the callback (nil ok).
+func (c *Cluster) Migrate(rangeIdx, dest int, onDone func(MigrationReport)) {
+	src := c.Nodes[c.Nodes[0].smap.Places[rangeIdx].Node]
+	if src.mig != nil {
+		panic("cluster: node is already migrating")
+	}
+	dst := c.Nodes[dest]
+	start, end := src.smap.Range(rangeIdx)
+	m := &migration{start: start, end: end, dest: dest, newVer: src.smap.Version + 1}
+	src.mig = m
+	src.RT.Boot(fmt.Sprintf("migrate.%d.to.%d", src.ID, dest), func(t *core.Thread) {
+		rep := src.runMigration(t, m, rangeIdx, dst)
+		if onDone != nil {
+			onDone(rep)
+		}
+	})
+}
+
+func (n *Node) runMigration(t *core.Thread, m *migration, rangeIdx int, dst *Node) MigrationReport {
+	rep := MigrationReport{Start: m.start, End: m.end, Dest: m.dest}
+	m.fwd = newForwarder(n, dst)
+
+	// DUAL, then the entry barrier: requests that predate the record
+	// finish before the copy sweep starts, so "applied before export"
+	// and "forwards itself" together cover every write.
+	m.dual = true
+	gen := n.gen
+	n.gen++
+	n.drainBefore(t, gen)
+
+	// COPY.
+	for i := 0; i < n.KV.Shards() && !m.failed; i++ {
+		for _, e := range n.KV.Export(t, i, m.start, m.end) {
+			if m.failed {
+				break
+			}
+			var req store.KVRequest
+			if e.Dead {
+				req = store.KVRequest{Op: store.WDelV, Key: e.Key, Ver: e.Ver}
+			} else {
+				g := n.KV.Get(t, e.Key)
+				if g.Err != "" {
+					m.failed = true
+					break
+				}
+				if !g.Found {
+					continue // deleted since export; the delete dual-forwarded itself
+				}
+				req = store.KVRequest{Op: store.WPutV, Key: e.Key, Val: g.Val, Ver: g.Ver}
+			}
+			if _, ok := m.fwd.call(t, req); !ok {
+				m.failed = true
+				break
+			}
+			rep.Copied++
+		}
+	}
+	if m.failed {
+		return n.abortMigration(m, rep)
+	}
+
+	// FLIP: the destination installs the bumped map and owns the range.
+	newMap := n.smap.Clone()
+	newMap.Places[rangeIdx].Node = m.dest
+	newMap.Version = m.newVer
+	if resp, ok := m.fwd.call(t, store.KVRequest{Op: store.WMapSet, Val: newMap.Encode()}); !ok || !resp.OK {
+		m.failed = true
+		return n.abortMigration(m, rep)
+	}
+
+	// DRAIN, then adopt the map locally and retire the record.
+	m.done = true
+	gen = n.gen
+	n.gen++
+	n.drainBefore(t, gen)
+	n.installMap(newMap)
+	n.mig = nil
+	m.fwd.close()
+
+	// BROADCAST to the rest of the cluster, fire-and-forget.
+	for _, peer := range n.c.Nodes {
+		if peer.ID == n.ID || peer.ID == m.dest {
+			continue
+		}
+		bf := newForwarder(n, peer)
+		bf.call(t, store.KVRequest{Op: store.WMapSet, Val: newMap.Encode()})
+		bf.close()
+	}
+	rep.MapVersion = n.smap.Version
+	return rep
+}
+
+// abortMigration is the destination-lost path: dual-write stops, the
+// source keeps owning the range, the map never changed. The
+// destination may hold partial range data it does not own — harmless,
+// and overwritten version-safely if the migration is retried.
+func (n *Node) abortMigration(m *migration, rep MigrationReport) MigrationReport {
+	n.mig = nil
+	m.fwd.close()
+	rep.Aborted = true
+	rep.MapVersion = n.smap.Version
+	return rep
+}

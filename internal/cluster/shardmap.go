@@ -1,0 +1,112 @@
+// Package cluster is the fabric that turns N independent chanOS
+// machines into one key-value service: a versioned shard map routes
+// every key to exactly one owning node, each node runs its own store
+// with its own replica group and majority quorum, and ownership moves
+// between live nodes by streaming migration (migrate.go). The paper's
+// position — structure the OS as a distributed system of cores that
+// share nothing and talk in messages — recurses one level up here:
+// machines share nothing and talk in messages, and the map is the
+// only piece of "global" state, itself just a versioned value copied
+// around by messages.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Placement assigns one contiguous key range to a node. A range is
+// [Start, next placement's Start); the last range is unbounded above.
+// Ranges therefore cover the whole keyspace with no gaps and no
+// overlaps by construction — a key always has exactly one owner.
+type Placement struct {
+	Start string `json:"start"` // first key of the range; Places[0].Start must be ""
+	Node  int    `json:"node"`  // owning node id
+}
+
+// ShardMap is the routing table: which node owns which key range, at
+// which version. Higher version wins everywhere — nodes install a map
+// only if it is newer than the one they hold, clients refresh their
+// cached copy when a Moved redirect advertises a newer one — so a map
+// can be gossiped, duplicated and reordered freely.
+type ShardMap struct {
+	Version uint64      `json:"version"`
+	Places  []Placement `json:"places"`
+}
+
+// NewMap builds a version-1 map: splits carve the keyspace into
+// len(splits)+1 ranges assigned to nodes 0..len(splits) in order.
+func NewMap(splits []string, nodes int) *ShardMap {
+	if len(splits) != nodes-1 {
+		panic(fmt.Sprintf("cluster: %d split points cannot carve %d node ranges", len(splits), nodes))
+	}
+	if !sort.StringsAreSorted(splits) {
+		panic("cluster: split points must be sorted")
+	}
+	m := &ShardMap{Version: 1, Places: []Placement{{Start: "", Node: 0}}}
+	for i, s := range splits {
+		m.Places = append(m.Places, Placement{Start: s, Node: i + 1})
+	}
+	return m
+}
+
+// NodeFor returns the id of the node owning key: the last placement
+// whose Start is <= key.
+func (m *ShardMap) NodeFor(key string) int {
+	owner := m.Places[0].Node
+	for _, p := range m.Places[1:] {
+		if p.Start <= key {
+			owner = p.Node
+		} else {
+			break
+		}
+	}
+	return owner
+}
+
+// Range returns placement i's key range [start, end); end "" means
+// unbounded above.
+func (m *ShardMap) Range(i int) (start, end string) {
+	start = m.Places[i].Start
+	if i+1 < len(m.Places) {
+		end = m.Places[i+1].Start
+	}
+	return start, end
+}
+
+// Clone returns a deep copy (maps are values; mutating an installed
+// map in place would bypass the version discipline).
+func (m *ShardMap) Clone() *ShardMap {
+	out := &ShardMap{Version: m.Version, Places: make([]Placement, len(m.Places))}
+	copy(out.Places, m.Places)
+	return out
+}
+
+// Encode renders the map as JSON — the wire form carried in WMap
+// responses and WMapSet requests. Deterministic: field order is fixed
+// and Places is ordered by construction.
+func (m *ShardMap) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic("cluster: map encode: " + err.Error())
+	}
+	return b
+}
+
+// DecodeMap parses a wire-form map and validates its shape.
+func DecodeMap(b []byte) (*ShardMap, error) {
+	var m ShardMap
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("cluster: map decode: %w", err)
+	}
+	if len(m.Places) == 0 || m.Places[0].Start != "" {
+		return nil, fmt.Errorf("cluster: map does not cover the keyspace")
+	}
+	for i := 1; i < len(m.Places); i++ {
+		if m.Places[i].Start <= m.Places[i-1].Start {
+			return nil, fmt.Errorf("cluster: map ranges out of order")
+		}
+	}
+	return &m, nil
+}

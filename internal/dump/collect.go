@@ -3,6 +3,7 @@ package dump
 import (
 	"fmt"
 
+	"chanos/internal/cluster"
 	"chanos/internal/core"
 	"chanos/internal/machine"
 	"chanos/internal/net"
@@ -13,9 +14,10 @@ import (
 
 // Collector holds references to every dumpable subsystem of one
 // machine (plus its replica's store, if attached) and captures them
-// into a Dump. Snapshot must run between engine events — host context
-// or an observer event — the same single-goroutine window every
-// telemetry collector uses.
+// into a Dump. For a cluster world, Cluster is set instead of the
+// single-machine fields, and Snapshot captures every node. Snapshot
+// must run between engine events — host context or an observer event
+// — the same single-goroutine window every telemetry collector uses.
 type Collector struct {
 	Eng     *sim.Engine
 	RT      *core.Runtime
@@ -24,6 +26,7 @@ type Collector struct {
 	Store   *store.Store
 	Replica *store.Store
 	Statd   *telemetry.Statd
+	Cluster *cluster.Cluster
 
 	Seed   uint64
 	Config Config
@@ -56,6 +59,19 @@ func (c *Collector) Snapshot(reason string) *Dump {
 	}
 	if c.Replica != nil {
 		d.Replica = c.Replica.SnapshotShards()
+	}
+	if c.Cluster != nil {
+		for _, n := range c.Cluster.Nodes {
+			md := MachineDump{Node: n.ID, MapVersion: c.Cluster.Map(n.ID).Version}
+			md.Cores, md.Threads = n.RT.SnapshotSched()
+			md.NIC = n.NIC.SnapshotQueues()
+			md.Net = n.Stk.SnapshotShards()
+			md.Store = n.KV.SnapshotShards()
+			for _, rm := range n.Repls {
+				md.Replicas = append(md.Replicas, rm.KV.SnapshotShards())
+			}
+			d.Machines = append(d.Machines, md)
+		}
 	}
 	if c.Statd != nil {
 		snap := *c.Statd.SnapshotNow()
@@ -91,6 +107,14 @@ func (c *Collector) OnFailStop(fn func(*Dump)) {
 	}
 	arm(c.Store, "store")
 	arm(c.Replica, "replica store")
+	if c.Cluster != nil {
+		for _, n := range c.Cluster.Nodes {
+			arm(n.KV, fmt.Sprintf("node %d store", n.ID))
+			for j, rm := range n.Repls {
+				arm(rm.KV, fmt.Sprintf("node %d replica %d", n.ID, j))
+			}
+		}
+	}
 }
 
 // Dumped reports whether the fail-stop hook has fired.

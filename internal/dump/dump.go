@@ -32,9 +32,13 @@ import (
 
 // Version is the dump schema version. Policy: adding fields (new
 // sections, new omitempty leaves) keeps the version; removing or
-// renaming fields, or changing the meaning of EventCount, bumps it.
-// Decode refuses dumps from a newer schema than it understands.
-const Version = 1
+// renaming fields, changing the meaning of EventCount, or changing
+// which config knobs shape the event sequence, bumps it. Version 2
+// added the cluster topology: Config.Machines/RF select an N-machine
+// scenario whose event sequence a v1 build cannot reproduce, and the
+// Machines section carries every node's full capture. Decode refuses
+// dumps from a newer schema than it understands.
+const Version = 2
 
 // Config is the scenario recipe half of a dump's reproduction triple.
 // Every knob that shapes the event sequence must be here — anything
@@ -56,6 +60,11 @@ type Config struct {
 	// FailWrites write completions on FailShard's log device fail.
 	FailWrites int `json:"fail_writes,omitempty"`
 	FailShard  int `json:"fail_shard,omitempty"`
+	// Machines and RF select the cluster scenario: Machines serving
+	// nodes, each with RF replica machines, routed by a shard map
+	// (internal/cluster). 0 machines = the single-machine scenarios.
+	Machines int `json:"machines,omitempty"`
+	RF       int `json:"rf,omitempty"`
 }
 
 // Dump is one whole-machine core dump.
@@ -78,15 +87,35 @@ type Dump struct {
 	NIC []machine.NICQueueState  `json:"nic"`
 	Net []net.StackShardSnapshot `json:"net"`
 
-	Store []store.ShardSnapshot `json:"store"`
+	Store []store.ShardSnapshot `json:"store,omitempty"`
 	// Replica is the replica machine's store shards (quorum
 	// configurations only).
 	Replica []store.ShardSnapshot `json:"replica,omitempty"`
+
+	// Machines is the cluster capture (cluster dumps only): one entry
+	// per serving node, each the full per-machine state the top-level
+	// sections hold for a single-machine dump, plus the node's replica
+	// stores and installed shard-map version.
+	Machines []MachineDump `json:"machines,omitempty"`
 
 	// Telemetry is the statd fold at capture time, with Seq normalised
 	// to 0: host-side scrapes bump the sequence number without touching
 	// the machine, so it is presentation state, not machine state.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// MachineDump is one cluster node's capture: the node's machine state
+// plus its replica machines' store shards and the shard-map version it
+// had installed.
+type MachineDump struct {
+	Node       int                      `json:"node"`
+	MapVersion uint64                   `json:"map_version"`
+	Cores      []core.CoreSched         `json:"cores"`
+	Threads    []core.ThreadSnapshot    `json:"threads"`
+	NIC        []machine.NICQueueState  `json:"nic"`
+	Net        []net.StackShardSnapshot `json:"net"`
+	Store      []store.ShardSnapshot    `json:"store"`
+	Replicas   [][]store.ShardSnapshot  `json:"replicas,omitempty"`
 }
 
 // Validate structurally checks a dump: schema version, the reproduction
@@ -104,28 +133,47 @@ func (d *Dump) Validate() []string {
 	if d.EventCount == 0 {
 		add("event_count 0: no replay coordinate")
 	}
-	if len(d.Cores) == 0 {
-		add("cores section empty")
-	}
-	if len(d.Threads) == 0 {
-		add("threads section empty")
-	}
-	if len(d.NIC) == 0 {
-		add("nic section empty")
-	}
-	if len(d.Net) == 0 {
-		add("net section empty")
-	}
-	if len(d.Store) == 0 {
-		add("store section empty")
-	}
-	for _, sh := range d.Store {
-		if sh.Disk.NumBlocks == 0 || sh.Disk.BlockSize == 0 {
-			add("store shard %d: no log-device geometry (shard never booted?)", sh.Shard)
+	if d.Config.Machines > 0 {
+		// Cluster dump: the per-machine sections carry what the
+		// top-level ones do for a single machine.
+		if len(d.Machines) != d.Config.Machines {
+			add("config has %d machines but machines section has %d", d.Config.Machines, len(d.Machines))
 		}
-	}
-	if d.Config.Replicas > 0 && len(d.Replica) == 0 {
-		add("config has %d replicas but replica section empty", d.Config.Replicas)
+		for _, m := range d.Machines {
+			if len(m.Cores) == 0 || len(m.Threads) == 0 {
+				add("machine %d: scheduler sections empty", m.Node)
+			}
+			if len(m.Store) == 0 {
+				add("machine %d: store section empty", m.Node)
+			}
+			if d.Config.RF > 0 && len(m.Replicas) != d.Config.RF {
+				add("machine %d: config has rf %d but %d replica captures", m.Node, d.Config.RF, len(m.Replicas))
+			}
+		}
+	} else {
+		if len(d.Cores) == 0 {
+			add("cores section empty")
+		}
+		if len(d.Threads) == 0 {
+			add("threads section empty")
+		}
+		if len(d.NIC) == 0 {
+			add("nic section empty")
+		}
+		if len(d.Net) == 0 {
+			add("net section empty")
+		}
+		if len(d.Store) == 0 {
+			add("store section empty")
+		}
+		for _, sh := range d.Store {
+			if sh.Disk.NumBlocks == 0 || sh.Disk.BlockSize == 0 {
+				add("store shard %d: no log-device geometry (shard never booted?)", sh.Shard)
+			}
+		}
+		if d.Config.Replicas > 0 && len(d.Replica) == 0 {
+			add("config has %d replicas but replica section empty", d.Config.Replicas)
+		}
 	}
 	if d.Telemetry == nil {
 		add("telemetry section missing")

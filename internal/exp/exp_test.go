@@ -347,11 +347,41 @@ func TestE17HealCyclesLoseNothing(t *testing.T) {
 	}
 }
 
+// --- E18: cluster fabric ---
+
+// TestE18ClusterContract: the phase table's contract row by row — no
+// request lost or errored in any phase, the minority replica kill
+// tolerated, the migration committed (map version advanced) and the
+// acked-write audit clean throughout.
+func TestE18ClusterContract(t *testing.T) {
+	tables := e18Cluster(q)
+	if len(tables) < 2 || len(tables[0].Rows) != 3 {
+		t.Fatalf("E18 produced the wrong shape: %d tables", len(tables))
+	}
+	// cols: phase ops ops/sec moved failed lost errs tolerated map-ver audit-keys audit-lost
+	for _, row := range tables[0].Rows {
+		if row[5] != "0" || row[6] != "0" || row[10] != "0" {
+			t.Errorf("phase %s broke the contract: lost=%s errs=%s audit-lost=%s",
+				row[0], row[5], row[6], row[10])
+		}
+		switch row[0] {
+		case "minority-kill":
+			if row[7] == "0" {
+				t.Error("minority kill was never tolerated")
+			}
+		case "migration":
+			if row[8] == "1" {
+				t.Error("migration did not advance the map version")
+			}
+		}
+	}
+}
+
 // --- registry and full-suite smoke ---
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13",
-		"E14", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		"E14", "E15", "E16", "E17", "E18", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

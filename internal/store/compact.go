@@ -272,14 +272,16 @@ func (sh *shard) epochDone(t *core.Thread, d flushDone) {
 	// Replica reads parked on locs in the retired region re-resolve
 	// against the compacted index before those blocks disappear.
 	sh.requeueReplReads(t)
-	// The committed superblock switch travels to the replica too, and a
-	// bootstrap sync paused behind this compaction resumes (or, deferred
-	// behind a recovery-resumed compaction, starts) now.
+	// The committed superblock switch travels to every replica too, and
+	// bootstrap syncs paused behind this compaction resume (or, deferred
+	// behind a recovery-resumed compaction, start) now.
 	sh.replEpochSwitch(t)
-	if r := sh.repl; r != nil && r.sync != nil {
-		sh.scheduleReplSync(t)
-	} else {
-		sh.maybeStartReplSync(t)
+	for _, r := range sh.repls {
+		if r.sync != nil {
+			sh.scheduleReplSync(t, r)
+		} else {
+			sh.maybeStartReplSyncFor(t, r)
+		}
 	}
 	sh.maybeCompact(t)
 }

@@ -1,41 +1,43 @@
 // The replication lifecycle: replication as a runtime state machine
 // rather than a boot-time configuration. A store moves through
 //
-//	SOLO ──attach──▶ SYNCING ──image acked──▶ QUORUM
-//	                    ▲                        │
-//	                    │ attach        primary lost: boot
-//	                    │                from replica platters
-//	               FAILED-OVER ◀─────────────────┘
+//	SOLO ──attach──▶ SYNCING ──images acked──▶ QUORUM
+//	                    ▲                         │
+//	                    │ attach         primary lost: boot
+//	                    │                from a replica's platters
+//	               FAILED-OVER ◀──────────────────┘
 //
-// and the loop closes: a failed-over (or plain solo) store attaches a
-// *fresh* replica machine while it is live and serving — the bootstrap
-// sweep ships a compacted image per shard (repl.go), write acks upgrade
-// from local-flush to two-machine quorum the moment the image is
-// complete, and once the replica's cumulative ack covers the image
-// (ReplCaughtUp) the fail-stop-on-replica-loss rule re-arms. The system
-// returns to full durability instead of serving degraded forever.
+// and the loop closes: a failed-over (or plain solo) store attaches
+// *fresh* replica machines while it is live and serving — the bootstrap
+// sweep ships a compacted image per shard per attachment (repl.go),
+// write acks upgrade from local-flush to majority quorum the moment an
+// image is complete, and once every attachment's cumulative ack covers
+// its image (ReplCaughtUp) the full durability contract is re-armed.
+// The system returns to full durability instead of serving degraded
+// forever.
 //
-// The states earn their names from the contracts they serve under:
+// With N attachments per shard (PR 8) the states fold a vector:
 //
-//   - SOLO / FAILED-OVER: no replica. Writes ack at local flush; a
+//   - SOLO / FAILED-OVER: no attachments. Writes ack at local flush; a
 //     machine loss loses the store (failed-over additionally means the
 //     state was inherited from a dead primary's replica).
-//   - SYNCING: a replica is attached but its image is incomplete. Write
-//     acks stay local-flush (the attach must not stall the shard behind
-//     a catch-up), and a replica loss DETACHES — no client has yet been
-//     promised two-machine durability, so reverting to the pre-attach
-//     contract breaks no promise. Every write is still captured and
-//     sequenced, so the image completes exactly once.
-//   - QUORUM: the image is complete and acknowledged. Write acks wait
-//     for both machines; a replica loss fail-stops the shard (degrading
-//     silently would weaken the contract mid-flight). Killing the
-//     primary at any instant from the flip onward loses nothing acked —
-//     including every write acked while the image was still streaming,
-//     whose sequences the image-completing ack covers by construction.
+//   - SYNCING: at least one attachment's image is incomplete. Write
+//     acks park for the majority vote as soon as ANY image is complete;
+//     losing a syncing attachment DETACHES it — no client was promised
+//     that attachment's durability, so reverting breaks no promise.
+//   - QUORUM: every attachment armed. Write acks wait for the primary
+//     flush plus ⌈(N+1)/2⌉ replica acks. Losing an ARMED attachment is
+//     the majority rule's asymmetric edge: if the surviving armed set
+//     can still form a majority of the pre-loss vector, the shard
+//     TOLERATES the loss (detaches the dead attachment and keeps
+//     serving — this is what lets an N-replica node shrug off a
+//     minority kill); if it cannot, the shard fail-stops, because no
+//     further write could honestly be acknowledged at quorum.
 //
-// Each shard walks the machine independently (its attachment, sync
-// sweep and acks are private, like everything else about a shard);
-// Store.Lifecycle reports the aggregate.
+// Each shard walks the machine independently (its attachments, sync
+// sweeps and acks are private, like everything else about a shard);
+// Store.Lifecycle reports the aggregate and Store.LifecycleReport the
+// per-replica rows.
 package store
 
 import (
@@ -50,18 +52,19 @@ const (
 	LifecycleSolo       = "solo"        // fresh boot, no replica: local-flush acks
 	LifecycleFailedOver = "failed-over" // recovered from carried-over platters, no replica: degraded
 	LifecycleSyncing    = "syncing"     // replica attached, bootstrap image incomplete on some shard
-	LifecycleQuorum     = "quorum"      // every shard at two-machine quorum, fail-stop re-armed
+	LifecycleQuorum     = "quorum"      // every attachment armed on every shard, majority acks
 	LifecycleFailed     = "failed"      // at least one shard fail-stopped
 )
 
 // Lifecycle reports the store's replication lifecycle state: the
 // aggregate of the per-shard state machines. Any fail-stopped shard
-// dominates; otherwise the store is at quorum only when every shard is
-// (a shard that detached mid-sync leaves the store reported as syncing
-// — not at quorum — until a fresh attach heals it). Call from the
-// simulation host between run slices, like the stats counters.
+// dominates; otherwise the store is at quorum only when every shard has
+// at least one attachment and every attachment is armed (a shard that
+// detached mid-sync leaves the store reported as syncing — not at
+// quorum — until a fresh attach heals it). Call from the simulation
+// host between run slices, like the stats counters.
 func (s *Store) Lifecycle() string {
-	attached, quorum := 0, 0
+	attached, armed, total := 0, 0, 0
 	for _, sh := range s.shards {
 		if sh == nil {
 			continue
@@ -69,10 +72,13 @@ func (s *Store) Lifecycle() string {
 		if sh.failed != "" {
 			return LifecycleFailed
 		}
-		if sh.repl != nil {
+		if len(sh.repls) > 0 {
 			attached++
-			if sh.repl.quorum {
-				quorum++
+		}
+		for _, r := range sh.repls {
+			total++
+			if r.quorum {
+				armed++
 			}
 		}
 	}
@@ -83,40 +89,98 @@ func (s *Store) Lifecycle() string {
 			return LifecycleFailedOver
 		}
 		return LifecycleSolo
-	case quorum == n && attached == n:
+	case attached == n && armed == total:
 		return LifecycleQuorum
 	default:
 		return LifecycleSyncing
 	}
 }
 
-// AttachReplica attaches quorum replication to a LIVE store — the
-// ATTACH control path. Every shard dials a connection to rm's
-// replication port and adopts the attachment as an ordinary message
-// ("replattach", FIFO behind whatever the shard is doing, including a
-// recovery replay): a shard that owns state starts the bootstrap sweep,
-// an empty shard is synced by definition and goes straight to quorum.
-// From the moment a shard's image is complete, its write acks wait for
-// the two-machine quorum; ReplCaughtUp reports the whole store healed.
+// ReplicaStatus is one attached replica machine's row in the per-
+// replica lifecycle report: how far each of its shard attachments has
+// come, and the worst captured-but-unacked lag across them. A healing
+// minority is visible here (and in the per-slot telemetry gauges) even
+// while the folded aggregate still reads "syncing".
+type ReplicaStatus struct {
+	Slot   int    `json:"slot"` // attach order among live attachments
+	Port   int    `json:"port"` // the replica machine's replication port
+	State  string `json:"state"`
+	Shards int    `json:"shards"` // shard attachments still live
+	Synced int    `json:"synced"` // ...with a complete bootstrap image
+	Armed  int    `json:"armed"`  // ...armed (image acked, counting toward quorum)
+	MaxLag uint64 `json:"max_lag"`
+}
+
+// LifecycleReport returns one row per attached replica machine, in
+// attach order. Host-side read, like Counters.
+func (s *Store) LifecycleReport() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(s.replicas))
+	for slot, rm := range s.replicas {
+		st := ReplicaStatus{Slot: slot, Port: rm.Port}
+		for _, sh := range s.shards {
+			if sh == nil {
+				continue
+			}
+			for _, r := range sh.repls {
+				if r.rm != rm {
+					continue
+				}
+				st.Shards++
+				if r.synced {
+					st.Synced++
+				}
+				if r.quorum {
+					st.Armed++
+				}
+				if lag := r.lastSeq - r.ackedSeq; lag > st.MaxLag {
+					st.MaxLag = lag
+				}
+			}
+		}
+		switch {
+		case st.Shards == 0:
+			st.State = "detached"
+		case st.Armed == st.Shards:
+			st.State = LifecycleQuorum
+		default:
+			st.State = LifecycleSyncing
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// AttachReplica attaches one more replica machine to a LIVE store — the
+// ATTACH control path, callable N times for an N-replica quorum. Every
+// shard dials a connection to rm's replication port and adopts the
+// attachment as an ordinary message ("replattach", FIFO behind whatever
+// the shard is doing, including a recovery replay): a shard that owns
+// state starts the bootstrap sweep, an empty shard is synced by
+// definition and the attachment arms immediately. From the moment any
+// of a shard's images is complete, its write acks wait for the majority
+// vote; ReplCaughtUp reports the whole store healed.
 //
 // Call alongside New for a replicated-from-birth store, or at any later
-// point (between run slices, like the stats) to heal a solo or
-// failed-over store. Panics if a replica is already attached or the
-// shard counts differ — primary shard i streams to replica shard i,
+// point (between run slices, like the stats) to heal a solo, degraded
+// or failed-over store. Panics if this machine is already attached or
+// the shard counts differ — primary shard i streams to replica shard i,
 // which the shared key hash guarantees once the counts match.
 func (s *Store) AttachReplica(rm *ReplicaMachine) {
 	if rm.KV.Shards() != s.Shards() {
 		panic(fmt.Sprintf("store: replica has %d shards, primary %d — counts must match",
 			rm.KV.Shards(), s.Shards()))
 	}
-	// s.replica is the attachment guard: set here, synchronously, and
-	// cleared only when the LAST shard detaches (replLost) — so two
-	// back-to-back attaches cannot both slip past while the per-shard
+	// s.replicas is the attachment guard: appended here, synchronously,
+	// and an entry is removed only when the machine's LAST shard
+	// attachment detaches (replLost) — so two back-to-back attaches of
+	// the same machine cannot both slip past while the per-shard
 	// "replattach" messages are still in flight.
-	if s.replica != nil {
-		panic("store: a replica is already attached (one attachment at a time)")
+	for _, have := range s.replicas {
+		if have == rm {
+			panic("store: this replica machine is already attached")
+		}
 	}
-	s.replica = rm
+	s.replicas = append(s.replicas, rm)
 	// The attach is a store-level control action; its count lives with
 	// shard 0's metric set (RegisterEach built every shard before New
 	// returned, so the slot is always populated).
@@ -132,15 +196,15 @@ func (s *Store) AttachReplica(rm *ReplicaMachine) {
 // carry the attachment identity, so they land correctly whether they
 // arrive before or after this does.
 func (sh *shard) replAttachIn(t *core.Thread, m replAttach) {
-	if sh.failed != "" || sh.repl != nil {
+	if sh.failed != "" || sh.hasRepl(m.r) {
 		return
 	}
-	sh.repl = m.r
+	sh.repls = append(sh.repls, m.r)
 	sh.m.flight.Record(sh.now(), "attach", "", uint64(len(sh.idx)), 0)
 	if len(sh.idx) == 0 {
 		// Nothing to bootstrap: the image is (vacuously) complete and
-		// acknowledged, so the attachment starts at quorum — every write
-		// from the first onward acks on both machines.
+		// acknowledged, so the attachment arms at once — every write
+		// from the first onward counts its vote.
 		m.r.synced = true
 		m.r.quorum = true
 		return
@@ -148,40 +212,88 @@ func (sh *shard) replAttachIn(t *core.Thread, m replAttach) {
 	// The shard owns state: stream a compacted image first. If a
 	// compaction is in flight the sweep starts at its epoch commit
 	// (epochDone calls maybeStartReplSync).
-	sh.maybeStartReplSync(t)
+	sh.maybeStartReplSyncFor(t, m.r)
 }
 
-// replLost is the replica-loss rule, the lifecycle's one asymmetric
-// edge: at quorum the shard fail-stops (clients hold two-machine acks
-// that a silent downgrade would betray), before quorum it detaches and
-// keeps serving under the contract it never left. Writes parked for the
-// quorum ack of an image that will now never complete release with
-// their local ack — they are locally durable, which is all the SYNCING
-// state ever promised.
-func (sh *shard) replLost(t *core.Thread, err string) {
-	r := sh.repl
-	if r == nil {
+// replLost is the replica-loss rule, the lifecycle's asymmetric edge,
+// now a majority rule over the attachment vector:
+//
+//   - A SYNCING attachment lost: detach it. No client was promised its
+//     durability; if it was the last attachment, writes parked for a
+//     vote that can now never arrive release at their local ack — they
+//     are locally durable, which is all the pre-quorum state promised.
+//   - An ARMED attachment lost, survivors can still form a majority of
+//     the PRE-LOSS vector: tolerate — detach the dead attachment and
+//     keep serving. Every acked write held ⌈(N+1)/2⌉ replica copies, so
+//     a minority of the N can die without betraying any ack.
+//   - An ARMED attachment lost, survivors below the majority: fail-stop
+//     (degrading silently would weaken the contract mid-flight).
+func (sh *shard) replLost(t *core.Thread, r *replShard, err string) {
+	if !sh.hasRepl(r) {
 		return
 	}
 	if r.quorum {
-		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, err))
-		return
-	}
-	sh.repl = nil
-	sh.m.ReplDetached++
-	sh.m.flight.Record(sh.now(), "detach", err, 0, 0)
-	for _, pw := range sh.replWait {
-		// Released at local durability — exactly the SYNCING contract —
-		// so these are AckedLocal terminals.
-		sh.ackLocal(t, pw)
-	}
-	sh.replWait = nil
-	// Last shard out drops the store-level attachment: Replicated()
-	// turns false and a fresh AttachReplica may heal the store.
-	for _, o := range sh.s.shards {
-		if o != nil && o.repl != nil {
+		need := sh.quorumNeed() // majority of the pre-loss vector
+		if sh.armedCount()-1 < need {
+			sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, err))
 			return
 		}
+		sh.m.ReplTolerated++
+		sh.m.flight.Record(sh.now(), "tolerate", err, 0, 0)
+	} else {
+		sh.m.ReplDetached++
+		sh.m.flight.Record(sh.now(), "detach", err, 0, 0)
 	}
-	sh.s.replica = nil
+	sh.detachRepl(t, r)
+}
+
+// detachRepl removes one attachment from the shard's vector, releases
+// or re-evaluates parked writes under the shrunken vector, and drops
+// the machine from the store-level attachment list once its last shard
+// detaches.
+func (sh *shard) detachRepl(t *core.Thread, r *replShard) {
+	keep := sh.repls[:0]
+	for _, o := range sh.repls {
+		if o != r {
+			keep = append(keep, o)
+		}
+	}
+	sh.repls = keep
+	if len(sh.repls) == 0 {
+		// Last attachment out: writes parked for a vote that can never
+		// arrive release at local durability — exactly the pre-attach
+		// contract — so these are AckedLocal terminals.
+		for _, pw := range sh.replWait {
+			sh.ackLocal(t, pw)
+		}
+		sh.replWait = nil
+	} else {
+		// The vector shrank, so the majority threshold may have dropped
+		// and the dead attachment's missing vote no longer counts
+		// against anyone: re-run the drain.
+		sh.drainQuorum(t)
+	}
+	// Last shard out drops the store-level attachment entry: the
+	// machine may be re-attached fresh.
+	rm := r.rm
+	if rm == nil {
+		return
+	}
+	for _, o := range sh.s.shards {
+		if o == nil {
+			continue
+		}
+		for _, or := range o.repls {
+			if or.rm == rm {
+				return
+			}
+		}
+	}
+	keepRM := sh.s.replicas[:0]
+	for _, m := range sh.s.replicas {
+		if m != rm {
+			keepRM = append(keepRM, m)
+		}
+	}
+	sh.s.replicas = keepRM
 }

@@ -1,14 +1,25 @@
 // Per-shard log replication: the store's durability story extended
 // from disk loss to machine loss. Each primary shard streams its log
-// records to a replica shard on a *second simulated machine*, reached
+// records to replica shards on *other simulated machines*, reached
 // over the ordinary internal/net wire (NIC, RSS, netstack shards,
-// seeded delay/jitter/loss — the replica pays real cycles on its own
+// seeded delay/jitter/loss — each replica pays real cycles on its own
 // cores), and a write is acknowledged only on quorum: the primary's
-// group-commit flush AND the replica's append ack must both be durable.
-// The deferral rides the existing kernel.Deferred discipline — a
-// locally-durable write parks in replWait until the replica's
-// cumulative ack covers its sequence number, exactly like a flush
-// interrupt or an rto re-entering the shard as a message.
+// group-commit flush AND a majority of the attached replicas' append
+// acks must be durable. The deferral rides the existing
+// kernel.Deferred discipline — a locally-durable write parks in
+// replWait until enough replicas' cumulative acks cover its per-
+// attachment sequence numbers, exactly like a flush interrupt or an
+// rto re-entering the shard as a message.
+//
+// Replication generalises over N attachments (PR 8): every shard keeps
+// a VECTOR of attachments, each with its own cumulative sequence space
+// (the wire is per-attachment FIFO, so one counter per link suffices),
+// and every captured write carries one sequence reference per
+// attachment that existed at capture time. The ack rule is a majority
+// vote over the attachment vector: a parked write releases when
+// ⌈(N+1)/2⌉ attachments cover it — an attachment that never saw the
+// write (it attached later) votes yes, because its bootstrap image was
+// snapshotted after the write applied and therefore carries it.
 //
 // Bootstrap and catch-up ship a freshly compacted image, not the raw
 // garbage-bearing log: when replication attaches to a shard that
@@ -20,11 +31,11 @@
 // sequence order around the sync batches; version-aware apply on the
 // replica makes the overlap idempotent.
 //
-// Failover is recovery: kill the primary at any instant and the
+// Failover is recovery: kill the primary at any instant and any armed
 // replica's disks hold every acknowledged write (the client ack
-// happened after the replica's flush, by construction), so booting a
-// store from the replica's platters recovers exactly the acknowledged
-// state via the existing version-aware replay. See DESIGN.md §store
+// happened after a majority of flushes, by construction), so booting a
+// store from a replica's platters recovers the acknowledged state via
+// the existing version-aware replay. See DESIGN.md §store and §cluster
 // for the crash/partition matrix.
 package store
 
@@ -90,9 +101,8 @@ func (b ReplBatch) WireBytes() int { return b.MsgBytes() }
 
 // ReplAck is the replica's durability receipt: every record with
 // sequence <= Seq is on the replica's platters. A non-empty Err means
-// the replica shard fail-stopped; the primary shard fail-stops too
-// (the quorum is unreachable, so no further write could ever be
-// honestly acknowledged).
+// the replica shard fail-stopped; the primary treats that attachment
+// as lost (majority rules decide whether the shard survives it).
 type ReplAck struct {
 	Shard int
 	Seq   uint64
@@ -149,15 +159,27 @@ type replAdvertMsg struct{ r *replShard }
 // MsgBytes implements core.Sized.
 func (m replAdvertMsg) MsgBytes() int { return 8 }
 
+// replSyncMsg is the deferred bootstrap-sweep increment firing for one
+// attachment (N attachments can be syncing concurrently, each with its
+// own sweep).
+type replSyncMsg struct{ r *replShard }
+
+// MsgBytes implements core.Sized.
+func (m replSyncMsg) MsgBytes() int { return 8 }
+
 // replTxCycles is the primary-side descriptor/DMA cost charged per
 // shipped batch (the shard programs its NIC like the netstack does);
 // the payload additionally costs bytes>>3, the machine's message rate.
 const replTxCycles = 1200
 
-// replShard is the primary-side replication state of one shard. Only
-// the shard's handler thread touches it (hook callbacks re-enter the
-// shard as "replopen"/"replack"/"replfail" messages).
+// replShard is the primary-side state of one shard's attachment to one
+// replica machine. Only the shard's handler thread touches it (hook
+// callbacks re-enter the shard as "replopen"/"replack"/"replfail"
+// messages). Each attachment is an independent sequence space: the
+// wire is per-attachment FIFO, so the cumulative ack is sound per
+// attachment and needs no cross-attachment coordination.
 type replShard struct {
+	rm     *ReplicaMachine // the machine this attachment streams to
 	ep     *net.Endpoint
 	open   bool        // handshake with the replica machine completed
 	queued []ReplBatch // ships deferred until the connection opens
@@ -171,14 +193,24 @@ type replShard struct {
 	synced     bool      // the replica holds a complete image
 	syncEndSeq uint64    // sequence the bootstrap image completed at
 
-	// quorum marks the attachment caught up (synced AND the cumulative
-	// ack covers syncEndSeq): from this point every write ack waits for
-	// the two-machine quorum and the fail-stop-on-replica-loss rule is
-	// armed. Before it, the shard serves under its pre-attach contract
-	// (local-flush acks) and a replica loss merely detaches.
+	// quorum marks the attachment ARMED (synced AND the cumulative ack
+	// covers syncEndSeq): it counts toward the majority every write ack
+	// waits for, and losing it shrinks the armed set — fail-stop only
+	// when the survivors can no longer form a majority. Before it, the
+	// attachment is catch-up state and a loss merely detaches it.
 	quorum bool
 
 	advertArmed bool // a deferred "repladvert" self-message is in flight
+}
+
+// seqRef is one write's sequence reference for one attachment: the
+// replication sequence the write was captured at on that attachment's
+// stream. A parked write holds one ref per attachment that existed at
+// capture time; attachments with no ref carry the write in their
+// bootstrap image instead.
+type seqRef struct {
+	r   *replShard
+	seq uint64
 }
 
 // replSync is one in-flight bootstrap/catch-up sweep: a sorted
@@ -192,7 +224,7 @@ type replSync struct {
 	waitBlock int // source block a parked increment needs (-1 = none)
 }
 
-// ReplicaMachineParams configures the second simulated machine.
+// ReplicaMachineParams configures one replica machine.
 type ReplicaMachineParams struct {
 	// Cores on the replica machine. Default 8.
 	Cores int
@@ -207,9 +239,9 @@ type ReplicaMachineParams struct {
 	// Store.ReplicaLagBound.
 	ReadPort int
 	// Store is the replica store's parameters. Shards must equal the
-	// primary's shard count (ReplicateTo enforces it): primary shard i
-	// streams to replica shard i, which the shared key hash guarantees
-	// once the counts match.
+	// primary's shard count (AttachReplica enforces it): primary shard
+	// i streams to replica shard i, which the shared key hash
+	// guarantees once the counts match.
 	Store Params
 	// Wire models the inter-machine link (delay, jitter, loss, RTO).
 	Wire net.WireParams
@@ -217,10 +249,10 @@ type ReplicaMachineParams struct {
 	Kernel kernel.Config
 }
 
-// ReplicaMachine is the second simulated machine: its own cores, NIC,
-// netstack, kernel and store (with its own per-shard log devices), on
-// the same simulation engine as the primary. Replication traffic costs
-// replica cycles exactly like client traffic costs primary cycles.
+// ReplicaMachine is one replica machine: its own cores, NIC, netstack,
+// kernel and store (with its own per-shard log devices), on the same
+// simulation engine as the primary. Replication traffic costs replica
+// cycles exactly like client traffic costs primary cycles.
 type ReplicaMachine struct {
 	M        *machine.Machine
 	RT       *core.Runtime
@@ -233,7 +265,7 @@ type ReplicaMachine struct {
 	ReadPort int // 0 = replica reads not served
 }
 
-// NewReplicaMachine boots the replica machine on eng and starts its
+// NewReplicaMachine boots a replica machine on eng and starts its
 // accept loop: every replication connection gets a serving thread
 // running ServeReplica. disks carries replica storage over from a
 // previous life (recovery), nil boots fresh devices.
@@ -295,7 +327,7 @@ func (s *Store) ReplicateTo(rm *ReplicaMachine) { s.AttachReplica(rm) }
 // carrying the attachment identity (a stale hook from an abandoned
 // attachment is ignored by the handlers).
 func (s *Store) dialReplica(rm *ReplicaMachine, i int) *replShard {
-	r := &replShard{}
+	r := &replShard{rm: rm}
 	svc, rt := s.svc, s.rt
 	r.ep = rm.NW.Dial(rm.Port, net.EndpointHooks{
 		OnOpen: func(*net.Endpoint) {
@@ -320,20 +352,25 @@ func (s *Store) dialReplica(rm *ReplicaMachine, i int) *replShard {
 	return r
 }
 
-// Replicated reports whether quorum replication is attached.
-func (s *Store) Replicated() bool { return s.replica != nil }
+// Replicated reports whether any replica machine is attached.
+func (s *Store) Replicated() bool { return len(s.replicas) > 0 }
 
-// ReplCaughtUp reports whether every shard's attachment has reached
-// quorum: the bootstrap image is complete AND acknowledged by the
-// replica — from this point on, a primary loss loses nothing
-// acknowledged, including pre-replication state. (Writes issued while
-// the image was still streaming were assigned sequences at or below
-// syncEndSeq, so the cumulative ack that completes the image covers
-// them too — killing a primary the instant this flips is safe.)
+// ReplCaughtUp reports whether every shard's every attachment has
+// reached quorum: all bootstrap images are complete AND acknowledged —
+// from this point on, a primary loss loses nothing acknowledged,
+// including pre-replication state. (Writes issued while an image was
+// still streaming were assigned sequences at or below its syncEndSeq,
+// so the cumulative ack that completes the image covers them too —
+// killing a primary the instant this flips is safe.)
 func (s *Store) ReplCaughtUp() bool {
 	for _, sh := range s.shards {
-		if sh.repl == nil || !sh.repl.quorum {
+		if len(sh.repls) == 0 {
 			return false
+		}
+		for _, r := range sh.repls {
+			if !r.quorum {
+				return false
+			}
 		}
 	}
 	return len(s.shards) > 0
@@ -341,37 +378,115 @@ func (s *Store) ReplCaughtUp() bool {
 
 // --- primary-side shard machinery ---
 
-// replCapture assigns the next replication sequence to a freshly
-// appended record and buffers it for the next ship (at the group-commit
-// flush, so replication batches ride the same cadence as the disk).
-// The value is copied: the batch ships after this call returns, and a
-// pipelining writer may legitimately reuse its buffer the moment the
-// append is in the primary's open block — the replica must log the
-// bytes the primary logged, not whatever the buffer holds later.
-// Returns 0 when replication is off. Compaction's re-appends never come
-// through here: the replica already holds those records.
-func (sh *shard) replCapture(t *core.Thread, op byte, key string, val []byte, ver uint64) uint64 {
-	r := sh.repl
-	if r == nil {
+// hasRepl reports whether r is a live attachment of this shard — the
+// staleness filter every hook-delivered message passes through.
+func (sh *shard) hasRepl(r *replShard) bool {
+	for _, o := range sh.repls {
+		if o == r {
+			return true
+		}
+	}
+	return false
+}
+
+// quorumNeed is the majority threshold over the shard's attachment
+// vector: how many replica acks a write needs (on top of the primary's
+// own flush) before its quorum ack may release. ⌈(N+1)/2⌉ of N
+// attachments — 1 of 1, 1 of 2, 2 of 3, 2 of 4.
+func (sh *shard) quorumNeed() int {
+	if len(sh.repls) == 0 {
 		return 0
 	}
-	r.lastSeq++
+	return (len(sh.repls) + 1) / 2
+}
+
+// armedCount is how many attachments are armed (at quorum).
+func (sh *shard) armedCount() int {
+	n := 0
+	for _, r := range sh.repls {
+		if r.quorum {
+			n++
+		}
+	}
+	return n
+}
+
+// anySynced reports whether at least one attachment holds a complete
+// image — the condition under which fresh write acks park for the
+// replica vote instead of releasing at local flush.
+func (sh *shard) anySynced() bool {
+	for _, r := range sh.repls {
+		if r.synced {
+			return true
+		}
+	}
+	return false
+}
+
+// votes counts the attachments whose durable state covers pw. An
+// attachment holding a ref votes when its cumulative ack reaches the
+// ref's sequence. An attachment with NO ref votes yes: the write was
+// captured before that attachment existed, so it applied to the index
+// before the attachment's bootstrap snapshot was taken — the image
+// carries it — and the write's own ack contract predates the
+// attachment anyway (this is also exactly the old single-replica
+// behaviour, where pre-attach writes carried sequence 0 and drained
+// against any cumulative ack).
+func votes(repls []*replShard, pw pendingWrite) int {
+	n := 0
+	for _, r := range repls {
+		ref, ok := findRef(pw.refs, r)
+		if !ok || ref <= r.ackedSeq {
+			n++
+		}
+	}
+	return n
+}
+
+func findRef(refs []seqRef, r *replShard) (uint64, bool) {
+	for _, ref := range refs {
+		if ref.r == r {
+			return ref.seq, true
+		}
+	}
+	return 0, false
+}
+
+// replCapture assigns the next replication sequence on EVERY attachment
+// to a freshly appended record and buffers it for the next ship (at the
+// group-commit flush, so replication batches ride the same cadence as
+// the disk). The value is copied: the batch ships after this call
+// returns, and a pipelining writer may legitimately reuse its buffer
+// the moment the append is in the primary's open block — the replicas
+// must log the bytes the primary logged, not whatever the buffer holds
+// later. Returns the write's per-attachment sequence refs (nil when
+// replication is off). Compaction's re-appends never come through here:
+// the replicas already hold those records.
+func (sh *shard) replCapture(t *core.Thread, op byte, key string, val []byte, ver uint64) []seqRef {
+	if len(sh.repls) == 0 {
+		return nil
+	}
 	rec := ReplRecord{Op: op, Key: key, Ver: ver}
 	if len(val) > 0 {
 		rec.Val = copyBytes(val)
 	}
-	r.out = append(r.out, rec)
-	sh.armAdvert(t) // the tail moved: advertise it before the flush ships it
-	return r.lastSeq
+	refs := make([]seqRef, 0, len(sh.repls))
+	for _, r := range sh.repls {
+		r.lastSeq++
+		r.out = append(r.out, rec)
+		refs = append(refs, seqRef{r: r, seq: r.lastSeq})
+		sh.armAdvert(t, r) // the tail moved: advertise it before the flush ships it
+	}
+	return refs
 }
 
-// armAdvert schedules a tail advertisement (once) — captured records
-// sit in r.out for up to a flush interval before they ship, and the
-// replica can only bound its read staleness by tails it has been told
-// about. The advert is a deferred self-message like "flush" and "rto".
-func (sh *shard) armAdvert(t *core.Thread) {
-	r := sh.repl
-	if r == nil || r.advertArmed || !r.synced {
+// armAdvert schedules a tail advertisement (once per attachment) —
+// captured records sit in r.out for up to a flush interval before they
+// ship, and the replica can only bound its read staleness by tails it
+// has been told about. The advert is a deferred self-message like
+// "flush" and "rto".
+func (sh *shard) armAdvert(t *core.Thread, r *replShard) {
+	if r.advertArmed || !r.synced {
 		return // during bootstrap the image gate blocks replica reads anyway
 	}
 	r.advertArmed = true
@@ -387,8 +502,8 @@ func (sh *shard) armAdvert(t *core.Thread) {
 // last assigned. The replica learns how far behind it is without
 // waiting for the group commit that will carry the records themselves.
 func (sh *shard) replAdvert(t *core.Thread, m replAdvertMsg) {
-	r := sh.repl
-	if r == nil || r != m.r || sh.failed != "" {
+	r := m.r
+	if !sh.hasRepl(r) || sh.failed != "" {
 		return // a timer armed by an attachment this shard abandoned
 	}
 	r.advertArmed = false
@@ -396,29 +511,34 @@ func (sh *shard) replAdvert(t *core.Thread, m replAdvertMsg) {
 		return // the flush shipped (and advertised) the tail already
 	}
 	sh.m.ReplAdverts++
-	sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
-	sh.armAdvert(t) // keep advertising while records remain unshipped
+	sh.replSend(t, r, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
+	sh.armAdvert(t, r) // keep advertising while records remain unshipped
 }
 
-// replShipOut ships the buffered records as one batch. Ship order is
-// sequence order — replSyncStep calls this before assigning its own
-// sequences, which is what makes the replica's cumulative ack sound.
+// replShipOut ships every attachment's buffered records as one batch
+// each. Ship order is sequence order — replSyncStep calls this before
+// assigning its own sequences, which is what makes each attachment's
+// cumulative ack sound.
 func (sh *shard) replShipOut(t *core.Thread) {
-	r := sh.repl
-	if r == nil || len(r.out) == 0 {
+	for _, r := range sh.repls {
+		sh.replShipOutOne(t, r)
+	}
+}
+
+func (sh *shard) replShipOutOne(t *core.Thread, r *replShard) {
+	if len(r.out) == 0 {
 		return
 	}
 	b := ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: r.out}
 	r.out = nil
-	sh.replSend(t, b)
+	sh.replSend(t, r, b)
 }
 
-// replSend puts one batch on the wire (or queues it until the
+// replSend puts one batch on r's wire (or queues it until the
 // connection opens), charging the shard the NIC programming cost. The
-// lag advertisement travels on every batch: Tail is the tail at this
-// instant, Image whether the bootstrap image is complete.
-func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
-	r := sh.repl
+// lag advertisement travels on every batch: Tail is the attachment's
+// tail at this instant, Image whether its bootstrap image is complete.
+func (sh *shard) replSend(t *core.Thread, r *replShard, b ReplBatch) {
 	b.Tail = r.lastSeq
 	b.Image = r.synced
 	if b.Seq > r.lastShip {
@@ -438,8 +558,8 @@ func (sh *shard) replSend(t *core.Thread, b ReplBatch) {
 // replOpen is the handshake-complete message: release everything queued
 // behind the connection setup.
 func (sh *shard) replOpen(t *core.Thread, m replOpenMsg) {
-	r := sh.repl
-	if r == nil || r != m.r || sh.failed != "" {
+	r := m.r
+	if !sh.hasRepl(r) || sh.failed != "" {
 		return
 	}
 	r.open = true
@@ -449,17 +569,17 @@ func (sh *shard) replOpen(t *core.Thread, m replOpenMsg) {
 	r.queued = nil
 }
 
-// replAckIn lands the replica's cumulative durability receipt, releases
-// every locally-durable write whose sequence it covers — the quorum is
-// complete for exactly those — and flips the attachment to quorum when
-// the receipt covers the bootstrap image.
+// replAckIn lands one replica's cumulative durability receipt, flips
+// the attachment to armed when the receipt covers its bootstrap image,
+// and releases every locally-durable write that now holds a majority of
+// replica votes.
 func (sh *shard) replAckIn(t *core.Thread, m replAckMsg) {
-	r := sh.repl
-	if r == nil || r != m.r {
+	r := m.r
+	if !sh.hasRepl(r) {
 		return // a receipt from an attachment this shard already abandoned
 	}
 	if m.a.Err != "" {
-		sh.replLost(t, fmt.Sprintf("replica: %s", m.a.Err))
+		sh.replLost(t, r, fmt.Sprintf("replica: %s", m.a.Err))
 		return
 	}
 	if sh.failed != "" {
@@ -470,16 +590,15 @@ func (sh *shard) replAckIn(t *core.Thread, m replAckMsg) {
 	if m.a.Seq > r.ackedSeq {
 		r.ackedSeq = m.a.Seq
 	}
-	sh.maybeQuorum(t)
+	sh.maybeQuorum(t, r)
 	sh.drainQuorum(t)
 }
 
-// maybeQuorum arms full quorum once the replica's cumulative ack covers
-// the bootstrap image: the heal is complete, write acks are (and stay)
-// two-machine, and replica loss is once again fail-stop.
-func (sh *shard) maybeQuorum(t *core.Thread) {
-	r := sh.repl
-	if r == nil || r.quorum || !r.synced || r.ackedSeq < r.syncEndSeq {
+// maybeQuorum arms an attachment once the replica's cumulative ack
+// covers its bootstrap image: the heal is complete for this attachment
+// and it counts toward every write's majority from here on.
+func (sh *shard) maybeQuorum(t *core.Thread, r *replShard) {
+	if r.quorum || !r.synced || r.ackedSeq < r.syncEndSeq {
 		return
 	}
 	r.quorum = true
@@ -487,12 +606,13 @@ func (sh *shard) maybeQuorum(t *core.Thread) {
 	sh.m.flight.Record(sh.now(), "quorum", "", r.syncEndSeq, 0)
 }
 
-// drainQuorum releases acks whose writes are durable on BOTH machines:
-// replWait holds them in sequence order (flushes complete in issue
-// order on the serial disk), so a prefix check suffices.
+// drainQuorum releases acks whose writes are durable on the primary AND
+// a majority of the attached replicas: replWait holds them in capture
+// order (flushes complete in issue order on the serial disk), and votes
+// only grow between attachment changes, so a prefix check suffices.
 func (sh *shard) drainQuorum(t *core.Thread) {
-	r := sh.repl
-	for len(sh.replWait) > 0 && sh.replWait[0].seq <= r.ackedSeq {
+	need := sh.quorumNeed()
+	for len(sh.replWait) > 0 && votes(sh.repls, sh.replWait[0]) >= need {
 		pw := sh.replWait[0]
 		sh.replWait = sh.replWait[1:]
 		sh.m.AckedWrites++
@@ -504,84 +624,90 @@ func (sh *shard) drainQuorum(t *core.Thread) {
 	}
 }
 
-// replFailed handles a dead replication connection: fail-stop if the
-// attachment had reached quorum, detach and keep serving if it had not
-// (see replLost in lifecycle.go for the rule).
+// replFailed handles a dead replication connection: the majority rule
+// in replLost (lifecycle.go) decides between tolerating the loss,
+// detaching, and fail-stop.
 func (sh *shard) replFailed(t *core.Thread, m replFailMsg) {
-	if sh.repl == nil || sh.repl != m.r {
+	if !sh.hasRepl(m.r) {
 		return // the wire died under an attachment already abandoned
 	}
-	sh.replLost(t, m.err)
+	sh.replLost(t, m.r, m.err)
 }
 
 // replEpochSwitch streams the shard's committed region-epoch switch as
-// a control batch (no records; Seq = last assigned, all of which have
-// shipped). The replica follows the primary's superblock history and
-// treats the switch as a compaction hint of its own.
+// a control batch to every attachment (no records; Seq = last assigned,
+// all of which have shipped). The replicas follow the primary's
+// superblock history and treat the switch as a compaction hint of their
+// own.
 func (sh *shard) replEpochSwitch(t *core.Thread) {
-	r := sh.repl
-	if r == nil || sh.failed != "" {
+	if sh.failed != "" {
 		return
 	}
 	sh.replShipOut(t) // keep ship order = sequence order
-	sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch})
+	for _, r := range sh.repls {
+		sh.replSend(t, r, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch})
+	}
 }
 
 // --- bootstrap / catch-up sync ---
 
-// maybeStartReplSync begins streaming the compacted bootstrap image —
-// only once no compaction is in flight (locations must not move under
-// the sweep; epochDone re-calls this when a recovery-resumed compaction
-// commits).
+// maybeStartReplSync begins streaming the compacted bootstrap image to
+// every attachment that still needs one — only once no compaction is in
+// flight (locations must not move under the sweep; epochDone re-calls
+// this when a recovery-resumed compaction commits).
 func (sh *shard) maybeStartReplSync(t *core.Thread) {
-	r := sh.repl
-	if r == nil || r.synced || r.sync != nil || sh.comp != nil || sh.failed != "" {
+	for _, r := range sh.repls {
+		sh.maybeStartReplSyncFor(t, r)
+	}
+}
+
+func (sh *shard) maybeStartReplSyncFor(t *core.Thread, r *replShard) {
+	if r.synced || r.sync != nil || sh.comp != nil || sh.failed != "" {
 		return
 	}
 	sh.m.ReplSyncs++
 	sh.m.flight.Record(sh.now(), "sync-start", "", uint64(len(sh.idx)), 0)
 	r.sync = &replSync{keys: sortedKeys(sh.idx), waitBlock: -1}
-	sh.scheduleReplSync(t)
+	sh.scheduleReplSync(t, r)
 }
 
-// scheduleReplSync arms the next sync increment as a deferred
-// self-message, the compaction sweep's pacing.
-func (sh *shard) scheduleReplSync(t *core.Thread) {
+// scheduleReplSync arms the next sync increment for one attachment as a
+// deferred self-message, the compaction sweep's pacing.
+func (sh *shard) scheduleReplSync(t *core.Thread, r *replShard) {
 	svc, id, from := sh.s.svc, sh.id, t.Core()
 	rt := sh.s.rt
 	rt.Eng.After(sh.s.P.CompactStepCycles, func() {
-		rt.InjectSend(svc.Shard(id), kernel.Request{Op: "replsync", Key: id}, from)
+		rt.InjectSend(svc.Shard(id), kernel.Request{Op: "replsync", Key: id, Arg: replSyncMsg{r: r}}, from)
 	})
 }
 
-// replSyncStep streams up to CompactBatch index entries: live records
-// with their values (from the open block, the cache, or parked on a
-// disk read like any GET miss), tombstones as DELETE records — the
-// version floor must survive on the replica too. Requests are served
-// between increments; fresh writes stream around the sync in sequence
-// order. While a compaction is in flight the sweep pauses — record
-// locations are moving under it — and epochDone resumes it where it
-// left off (the snapshot's remaining keys are looked up fresh each
-// step, so the moved locations are simply picked up; pausing rather
-// than restarting means sustained churn can delay catch-up but never
-// discard its progress).
-func (sh *shard) replSyncStep(t *core.Thread) {
-	r := sh.repl
-	if r == nil || r.sync == nil || sh.failed != "" || sh.comp != nil {
+// replSyncStep streams up to CompactBatch index entries on one
+// attachment: live records with their values (from the open block, the
+// cache, or parked on a disk read like any GET miss), tombstones as
+// DELETE records — the version floor must survive on the replica too.
+// Requests are served between increments; fresh writes stream around
+// the sync in sequence order. While a compaction is in flight the sweep
+// pauses — record locations are moving under it — and epochDone resumes
+// it where it left off (the snapshot's remaining keys are looked up
+// fresh each step, so the moved locations are simply picked up; pausing
+// rather than restarting means sustained churn can delay catch-up but
+// never discard its progress).
+func (sh *shard) replSyncStep(t *core.Thread, r *replShard) {
+	if !sh.hasRepl(r) || r.sync == nil || sh.failed != "" || sh.comp != nil {
 		return
 	}
 	sy := r.sync
 	if sy.waitBlock >= 0 {
 		return
 	}
-	sh.replShipOut(t) // fresh writes captured since the last ship go first
+	sh.replShipOutOne(t, r) // fresh writes captured since the last ship go first
 	var recs []ReplRecord
 	ship := func() {
 		if len(recs) == 0 {
 			return
 		}
 		sh.m.ReplSyncRecords += uint64(len(recs))
-		sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: recs})
+		sh.replSend(t, r, ReplBatch{Shard: sh.id, Seq: r.lastSeq, Epoch: sh.epoch, Recs: recs})
 		recs = nil
 	}
 	done := 0
@@ -619,7 +745,7 @@ func (sh *shard) replSyncStep(t *core.Thread) {
 	}
 	if sy.next < len(sy.keys) {
 		ship()
-		sh.scheduleReplSync(t)
+		sh.scheduleReplSync(t, r)
 		return
 	}
 	// Image complete: mark synced BEFORE the final ship so the batch
@@ -632,10 +758,10 @@ func (sh *shard) replSyncStep(t *core.Thread) {
 	} else {
 		// The last increment found only already-shipped keys; tell the
 		// replica the image is complete with an empty advertisement.
-		sh.replSend(t, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
+		sh.replSend(t, r, ReplBatch{Shard: sh.id, Seq: r.lastShip, Epoch: sh.epoch})
 	}
 	r.sync = nil
-	sh.maybeQuorum(t)
+	sh.maybeQuorum(t, r)
 	sh.maybeCompact(t) // a compaction deferred behind the sync may start now
 }
 
@@ -718,8 +844,8 @@ func (sh *shard) applyRepl(t *core.Thread, b ReplBatch, reply *core.Chan) core.M
 // ServeReplica pumps one replication connection on the replica
 // machine: apply each batch (blocking until its records are durable),
 // then send the cumulative ack back. A fail-stopped replica shard
-// answers with an error ack and the loop ends — the primary shard
-// fail-stops on seeing it.
+// answers with an error ack and the loop ends — the primary treats the
+// attachment as lost on seeing it.
 func ServeReplica(t *core.Thread, c *net.Conn, s *Store) {
 	for {
 		v, ok := c.Recv(t)

@@ -68,7 +68,7 @@ func TestReplicaReadStalenessProperty(t *testing.T) {
 					return
 				}
 				// The write's own sequence is <= the shard's tail now.
-				tail := shardOf(key).repl.lastSeq
+				tail := shardOf(key).repls[0].lastSeq
 				acked[ki][r.Ver] = hist{ackTail: tail, val: val}
 				if r.Ver > maxAcked[ki] {
 					maxAcked[ki] = r.Ver

@@ -353,15 +353,15 @@ type loc struct {
 }
 
 // pendingWrite is an acknowledgement waiting for its record's block
-// write to complete (group commit) — and, under replication, for the
-// replica's cumulative ack to cover seq (quorum). res is the success
-// reply: a WriteResult for client writes, a ReplAck for replica-side
-// applies (repl marks those; their acks are durability receipts to the
-// primary, not client acks).
+// write to complete (group commit) — and, under replication, for a
+// majority of replicas' cumulative acks to cover its refs (quorum).
+// res is the success reply: a WriteResult for client writes, a ReplAck
+// for replica-side applies (repl marks those; their acks are
+// durability receipts to the primary, not client acks).
 type pendingWrite struct {
 	reply *core.Chan
 	res   core.Msg
-	seq   uint64
+	refs  []seqRef
 	repl  bool
 }
 
@@ -404,12 +404,13 @@ type shard struct {
 	// epoch is the shard's committed region epoch: appends land in
 	// region epoch&1 (epoch+1&1 while a compaction is in flight).
 	epoch uint64
-	// repl is the primary-side replication state (repl.go); nil when
-	// the store runs local-only.
-	repl *replShard
+	// repls is the primary-side replication attachment vector (repl.go);
+	// empty when the store runs local-only. One entry per attached
+	// replica machine, each an independent sequence space.
+	repls []*replShard
 	// replWait holds locally-durable writes (their flush completed)
-	// still waiting for the replica's cumulative ack to cover their
-	// sequence — the other half of the quorum. Sequence order.
+	// still waiting for a majority of the replicas' cumulative acks to
+	// cover their refs — the other half of the quorum. Capture order.
 	replWait []pendingWrite
 	// primaryEpoch, on a replica shard, is the highest region epoch the
 	// primary has streamed (superblock switches travel with batches).
@@ -457,8 +458,8 @@ type Store struct {
 	disks  []*blockdev.Disk
 	shards []*shard // per-shard private state, in shard order (stats only)
 
-	replica   *ReplicaMachine // quorum replication target (AttachReplica)
-	recovered bool            // booted from carried-over disks
+	replicas  []*ReplicaMachine // quorum replication targets, attach order
+	recovered bool              // booted from carried-over disks
 	// replicaRole marks a store built to RECEIVE replication (it lives
 	// on a ReplicaMachine): its replica-read path must refuse to serve
 	// until a complete bootstrap image has landed, even before the
@@ -674,6 +675,13 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 			return sh.del(t, req.Arg.(delArg).Key, req.Reply)
 		case "scan":
 			return sh.scan(req.Arg.(scanArg))
+		case "putv":
+			a := req.Arg.(putvArg)
+			return sh.putV(t, a, req.Reply)
+		case "delv":
+			return sh.delV(t, req.Arg.(delvArg), req.Reply)
+		case "export":
+			return sh.export(req.Arg.(exportArg))
 		case "flush":
 			sh.flushArmed = false
 			if sh.dirty > 0 && sh.failed == "" {
@@ -702,7 +710,7 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 		case "replfail":
 			sh.replFailed(t, req.Arg.(replFailMsg))
 		case "replsync":
-			sh.replSyncStep(t)
+			sh.replSyncStep(t, req.Arg.(replSyncMsg).r)
 		case "repladvert":
 			sh.replAdvert(t, req.Arg.(replAdvertMsg))
 		}
@@ -799,13 +807,15 @@ func (sh *shard) readDone(t *core.Thread, d readDone) {
 		}
 		sh.compactStep(t)
 	}
-	if r := sh.repl; r != nil && r.sync != nil && r.sync.waitBlock == d.block {
-		r.sync.waitBlock = -1
-		if !d.ok {
-			sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: replication sync read: %s", sh.id, d.err))
-			return
+	for _, r := range sh.repls {
+		if r.sync != nil && r.sync.waitBlock == d.block {
+			r.sync.waitBlock = -1
+			if !d.ok {
+				sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: replication sync read: %s", sh.id, d.err))
+				return
+			}
+			sh.replSyncStep(t, r)
 		}
-		sh.replSyncStep(t)
 	}
 }
 
@@ -840,9 +850,9 @@ func (sh *shard) write(t *core.Thread, key string, val []byte, reply *core.Chan)
 		return WriteResult{Err: "store: log region full"}
 	}
 	sh.applyRecord(recPut, key, len(val), ver, 0)
-	seq := sh.replCapture(t, recPut, key, val, ver)
+	refs := sh.replCapture(t, recPut, key, val, ver)
 	sh.m.flight.Record(sh.now(), "put", key, ver, uint64(len(val)))
-	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, refs: refs,
 		res: WriteResult{OK: true, Found: existed && !old.dead, Ver: ver}})
 	sh.armFlush(t)
 	sh.maybeCompact(t)
@@ -876,9 +886,9 @@ func (sh *shard) del(t *core.Thread, key string, reply *core.Chan) core.Msg {
 		return WriteResult{Err: "store: log region full"}
 	}
 	sh.applyRecord(recDel, key, 0, ver, 0)
-	seq := sh.replCapture(t, recDel, key, nil, ver)
+	refs := sh.replCapture(t, recDel, key, nil, ver)
 	sh.m.flight.Record(sh.now(), "del", key, ver, 0)
-	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, seq: seq,
+	sh.waiters = append(sh.waiters, pendingWrite{reply: reply, refs: refs,
 		res: WriteResult{OK: true, Found: true, Ver: ver}})
 	sh.armFlush(t)
 	sh.maybeCompact(t)
@@ -1042,13 +1052,13 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	if d.sealed {
 		sh.cache.put(d.block, d.data)
 	}
-	if r := sh.repl; r != nil && r.synced {
+	if sh.anySynced() {
 		// Quorum mode: local durability is half the vote. Park the acks
-		// (in sequence order — flushes complete in issue order) until
-		// the replica's cumulative ack covers them. Writes that landed
-		// while the bootstrap image was still streaming ack at local
-		// flush instead — the shard is still serving under its
-		// pre-attach contract until the image completes.
+		// (in capture order — flushes complete in issue order) until a
+		// majority of the replicas' cumulative acks cover them. Before
+		// any bootstrap image completes, writes ack at local flush
+		// instead — the shard is still serving under its pre-attach
+		// contract until an image completes.
 		for _, pw := range d.batch {
 			if pw.reply != nil {
 				sh.replWait = append(sh.replWait, pw)
@@ -1122,7 +1132,7 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 	sh.m.flight.Record(sh.now(), "failstop", err, 0, 0)
 	sh.s.flightDumps = append(sh.s.flightDumps, sh.m.flight.Dump("store", sh.id, sh.now(), err))
 	sh.comp = nil
-	if r := sh.repl; r != nil {
+	for _, r := range sh.repls {
 		r.sync = nil
 		r.out = nil
 		r.queued = nil

@@ -15,6 +15,8 @@
 package store
 
 import (
+	"fmt"
+
 	"chanos/internal/sim"
 	"chanos/internal/stats"
 	"chanos/internal/telemetry"
@@ -58,11 +60,15 @@ type StoreCounters struct {
 	ReplAttaches   uint64 // replica attachments begun (AttachReplica calls)
 	ReplHeals      uint64 // shard attachments that reached quorum via a bootstrap image
 	ReplDetached   uint64 // shard attachments dropped before quorum (replica lost mid-sync)
+	ReplTolerated  uint64 // armed attachments lost with the majority intact (minority kills survived)
 	ReplAdverts    uint64 // tail advertisements shipped ahead of their flush
 	ReplicaGets    uint64 // replica-read GETs (replica side)
 	RefusedSyncing uint64 // ...refused: bootstrap image incomplete
 	RefusedLag     uint64 // ...refused: advertised lag beyond the staleness bound
 	ReplicaWaits   uint64 // ...parked for the durable horizon (at least once)
+
+	VerWrites uint64 // version-carrying writes applied (migration ingest)
+	VerStale  uint64 // version-carrying writes acked without applying (duplicates)
 }
 
 // shardMetrics is one shard's private metric set. Recording is plain
@@ -86,14 +92,15 @@ type shardMetrics struct {
 func (sh *shard) now() sim.Time { return sh.s.rt.Eng.Now() }
 
 // lifecycleCode is the shard's lifecycle state as a gauge: 0 solo,
-// 1 failed-over, 2 syncing, 3 quorum, 4 failed.
+// 1 failed-over, 2 syncing, 3 quorum, 4 failed. With N attachments the
+// shard is at quorum only when every attachment is armed.
 func (sh *shard) lifecycleCode() uint64 {
 	switch {
 	case sh.failed != "":
 		return 4
-	case sh.repl != nil && sh.repl.quorum:
+	case len(sh.repls) > 0 && sh.armedCount() == len(sh.repls):
 		return 3
-	case sh.repl != nil:
+	case len(sh.repls) > 0:
 		return 2
 	case sh.s.recovered:
 		return 1
@@ -102,8 +109,9 @@ func (sh *shard) lifecycleCode() uint64 {
 }
 
 // replLag is the shard's current replication lag in sequences: on a
-// primary, captured-but-unacked (lastSeq − ackedSeq); on a replica,
-// advertised-but-unapplied (primTail − replApplied).
+// primary, the WORST captured-but-unacked gap across its attachments
+// (max over lastSeq − ackedSeq); on a replica, advertised-but-unapplied
+// (primTail − replApplied).
 func (sh *shard) replLag() uint64 {
 	if sh.s.replicaRole {
 		if sh.primTail > sh.replApplied {
@@ -111,10 +119,13 @@ func (sh *shard) replLag() uint64 {
 		}
 		return 0
 	}
-	if r := sh.repl; r != nil && r.lastSeq > r.ackedSeq {
-		return r.lastSeq - r.ackedSeq
+	var worst uint64
+	for _, r := range sh.repls {
+		if r.lastSeq > r.ackedSeq && r.lastSeq-r.ackedSeq > worst {
+			worst = r.lastSeq - r.ackedSeq
+		}
 	}
-	return 0
+	return worst
 }
 
 // Counters folds every shard's private counter set into one total —
@@ -144,6 +155,29 @@ func (s *Store) CollectShard(i int, emit func(telemetry.Value)) {
 	emit(telemetry.Gauge("LiveBytes", uint64(sh.liveBytes)))
 	emit(telemetry.Gauge("ReplLag", sh.replLag()))
 	emit(telemetry.Gauge("LifecycleState", sh.lifecycleCode()))
+	// Per-attachment rows, keyed by the machine's attach slot so a
+	// healing minority is visible from a live scrape: state 1 syncing,
+	// 2 synced (image complete), 3 armed (voting toward quorum).
+	for slot, rm := range s.replicas {
+		for _, r := range sh.repls {
+			if r.rm != rm {
+				continue
+			}
+			st := uint64(1)
+			if r.synced {
+				st = 2
+			}
+			if r.quorum {
+				st = 3
+			}
+			var lag uint64
+			if r.lastSeq > r.ackedSeq {
+				lag = r.lastSeq - r.ackedSeq
+			}
+			emit(telemetry.Gauge(fmt.Sprintf("Repl%dState", slot), st))
+			emit(telemetry.Gauge(fmt.Sprintf("Repl%dLag", slot), lag))
+		}
+	}
 	emit(telemetry.HistValue("FlushLatency", &sh.m.FlushLatency))
 	emit(telemetry.HistValue("BatchSize", &sh.m.BatchSize))
 }

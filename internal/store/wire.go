@@ -27,6 +27,20 @@ const (
 	// traffic like any request, but building the snapshot costs the
 	// machine zero simulated cycles — see internal/telemetry.
 	WStats
+	// WPutV and WDelV are version-carrying writes: the record is applied
+	// at the request's Ver instead of minting a fresh one, and a request
+	// whose Ver does not exceed the key's current version is acknowledged
+	// WITHOUT applying (idempotent). They are the cluster fabric's
+	// migration traffic (internal/cluster): addressed to a specific
+	// machine, never routed by the shard map, and safe to deliver twice.
+	WPutV
+	WDelV
+	// WMap and WMapSet are the shard-map verbs (internal/cluster): WMap
+	// fetches the serving node's current map as JSON in the response Val;
+	// WMapSet installs the newer map carried in the request Val. A store
+	// serving outside a cluster answers both with an error.
+	WMap
+	WMapSet
 )
 
 func (op WireOp) String() string {
@@ -41,29 +55,51 @@ func (op WireOp) String() string {
 		return "SCAN"
 	case WStats:
 		return "STATS"
+	case WPutV:
+		return "PUTV"
+	case WDelV:
+		return "DELV"
+	case WMap:
+		return "MAP"
+	case WMapSet:
+		return "MAPSET"
 	}
 	return "?"
 }
 
 // KVRequest is one client request. For WScan, Key is the prefix and
-// Limit bounds the result.
+// Limit bounds the result. For WPutV/WDelV, Ver is the version the
+// record applies at.
 type KVRequest struct {
 	Op    WireOp
 	Seq   uint32 // client-chosen tag, echoed in the response
 	Key   string
 	Val   []byte
 	Limit int
+	Ver   uint64 // version-carrying writes only
 }
 
 // MsgBytes implements core.Sized: op + seq + limit + lengths, then key
-// and value bytes.
-func (r KVRequest) MsgBytes() int { return 16 + len(r.Key) + len(r.Val) }
+// and value bytes; a version-carrying write additionally pays for the
+// version word (requests that never carry one cost what they always
+// did).
+func (r KVRequest) MsgBytes() int {
+	n := 16 + len(r.Key) + len(r.Val)
+	if r.Ver != 0 {
+		n += 8
+	}
+	return n
+}
 
 // WireBytes is the request's simulated size on the wire (for Conn.Send
 // / Endpoint.Send).
 func (r KVRequest) WireBytes() int { return r.MsgBytes() }
 
-// KVResponse answers one KVRequest.
+// KVResponse answers one KVRequest. Moved is the cluster fabric's
+// routing redirect: the serving node does not own the key under its
+// current shard map — retry at node Owner, whose map is at least
+// MapVer (internal/cluster clients refresh their cached map on seeing
+// a version ahead of their own).
 type KVResponse struct {
 	Seq   uint32
 	OK    bool
@@ -73,13 +109,21 @@ type KVResponse struct {
 	Keys  []string // scan results
 	Vers  []uint64 // scan results: Keys[i] is at version Vers[i]
 	Err   string
+
+	Moved  bool
+	Owner  int
+	MapVer uint64
 }
 
-// MsgBytes implements core.Sized.
+// MsgBytes implements core.Sized. A Moved redirect pays for its owner
+// and map-version words; ordinary responses cost what they always did.
 func (r KVResponse) MsgBytes() int {
 	n := 24 + len(r.Val) + len(r.Err) + 8*len(r.Vers)
 	for _, k := range r.Keys {
 		n += 2 + len(k)
+	}
+	if r.Moved {
+		n += 12
 	}
 	return n
 }
@@ -100,6 +144,12 @@ func (s *Store) Apply(t *core.Thread, req KVRequest) KVResponse {
 		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
 	case WDelete:
 		r := s.Delete(t, req.Key)
+		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
+	case WPutV:
+		r := s.PutV(t, req.Key, req.Val, req.Ver)
+		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
+	case WDelV:
+		r := s.DeleteV(t, req.Key, req.Ver)
 		return KVResponse{Seq: req.Seq, OK: r.OK, Found: r.Found, Ver: r.Ver, Err: r.Err}
 	case WScan:
 		r := s.Scan(t, req.Key, req.Limit)

@@ -181,6 +181,53 @@ if [ "$short" = "0" ]; then
         exit 1
     }
 
+    echo "== E18 cluster smoke (quick, -json)"
+    out=$(go run ./cmd/chanos-bench -run E18 -quick -json)
+    echo "$out"
+    # The phase table is the cluster gate: across baseline -> minority
+    # replica kill -> live migration, the routed fleet may lose nothing
+    # (lost, errs and audit-lost all 0 on every row), the kill row must
+    # actually tolerate a replica loss, and the migration row must have
+    # flipped the map to version 2.
+    phases=$(echo "$out" | sed -n '/E18 \/ cluster fabric/,/^$/p')
+    [ -n "$phases" ] || {
+        echo "verify: E18 phase table missing" >&2
+        exit 1
+    }
+    if ! echo "$phases" | awk '/^(baseline|minority-kill|migration) /{
+        rows++; if ($6 != "0" || $7 != "0" || $11 != "0") bad=1
+        if ($1 == "minority-kill" && $8+0 < 1) bad=1
+        if ($1 == "migration" && $9 != "2") bad=1 }
+        END { exit !(rows == 3 && !bad) }'; then
+        echo "verify: the cluster lost requests or acked writes, never tolerated the kill, or never flipped the map" >&2
+        exit 1
+    fi
+    test -s BENCH_E18.json || {
+        echo "verify: BENCH_E18.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"rows"' BENCH_E18.json || {
+        echo "verify: BENCH_E18.json has no rows" >&2
+        exit 1
+    }
+    grep -q '"telemetry"' BENCH_E18.json || {
+        echo "verify: BENCH_E18.json has no embedded telemetry snapshot" >&2
+        exit 1
+    }
+
+    echo "== cluster scenario gate (9 machines, one engine)"
+    # chanos-sim's cluster scenario must serve its requests with nothing
+    # lost — same seed, same config, one shared engine across 9 machines
+    # (the dump → replay-to-event-N → byte-equal redump loop for this
+    # scenario is gated by the internal/dump cluster test levels).
+    out=$(go run ./cmd/chanos-sim -scenario cluster -machines 3 -rf 2 \
+        -cores 8 -requests 200 -keys 120 -seed 9)
+    echo "$out"
+    echo "$out" | grep -Eq 'served (2[0-9][0-9])/200 requests .* 0 errors, 0 lost' || {
+        echo "verify: the cluster scenario dropped requests" >&2
+        exit 1
+    }
+
     echo "== core-dump gate (inject disk write failure -> dump -> replay)"
     # A seeded kvload run with one injected log-device write failure must
     # fail-stop the shard and write a machine core dump...
