@@ -1,9 +1,8 @@
 package blockdev
 
 import (
-	"sort"
-
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 )
 
 // BlockSnapshot is one committed block's platter contents ([]byte
@@ -51,12 +50,7 @@ func (d *Disk) Snapshot() DiskSnapshot {
 		Trims:           d.Trims,
 		FailWritesArmed: d.failWrites,
 	}
-	blocks := make([]int, 0, len(d.data))
-	for b := range d.data {
-		blocks = append(blocks, b)
-	}
-	sort.Ints(blocks)
-	for _, b := range blocks {
+	for _, b := range detmap.Keys(d.data) {
 		s.Blocks = append(s.Blocks, BlockSnapshot{Block: b, Data: append([]byte(nil), d.data[b]...)})
 	}
 	return s

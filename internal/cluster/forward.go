@@ -13,10 +13,10 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"chanos/internal/core"
 	"chanos/internal/net"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/store"
 )
 
@@ -70,12 +70,7 @@ func (f *forwarder) fail(rt *core.Runtime) {
 		return
 	}
 	f.failed = true
-	seqs := make([]uint32, 0, len(f.pending))
-	for s := range f.pending {
-		seqs = append(seqs, s)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, s := range seqs {
+	for _, s := range detmap.Keys(f.pending) {
 		ch := f.pending[s]
 		delete(f.pending, s)
 		rt.InjectSend(ch, store.KVResponse{Seq: s, Err: errForwardDown}, 0)

@@ -26,6 +26,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/net"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/store"
 	"chanos/internal/telemetry"
 )
@@ -262,11 +263,8 @@ func diffWalk(path string, a, b any, out *[]string, extra *int) {
 			diffEmit(out, extra, "%s: object != %T", path, b)
 			return
 		}
-		keys := make([]string, 0, len(av)+len(bv))
-		for k := range av {
-			keys = append(keys, k)
-		}
-		for k := range bv {
+		keys := detmap.Keys(av)
+		for _, k := range detmap.Keys(bv) {
 			if _, dup := av[k]; !dup {
 				keys = append(keys, k)
 			}

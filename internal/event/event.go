@@ -11,9 +11,8 @@
 package event
 
 import (
-	"sort"
-
 	"chanos/internal/core"
+	"chanos/internal/sim/detmap"
 )
 
 // Kind classifies events.
@@ -110,12 +109,7 @@ func (b *Bus) PublishAsync(kind Kind, source int, payload core.Msg) {
 // Kinds returns the kinds having subscribers, sorted (for deterministic
 // reporting).
 func (b *Bus) Kinds() []Kind {
-	out := make([]Kind, 0, len(b.subs))
-	for k := range b.subs {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detmap.Keys(b.subs)
 }
 
 // CompletionStats records what a completion-processing worker achieved.

@@ -9,6 +9,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/net"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/stats"
 	"chanos/internal/store"
 )
@@ -208,7 +209,10 @@ func e16Kill(o Options, seed uint64, killAt sim.Time) e16KillResult {
 	kv2 := store.New(w2.rt, k2, replicaParams, disks)
 	res := e16KillResult{killAtMs: killMs, ackedPuts: ackedPuts, tracked: len(acked)}
 	w2.rt.Boot("auditor", func(t *core.Thread) {
-		for key, ver := range acked {
+		// The audit's Gets consume engine events: issue them in sorted
+		// key order, never raw map order, or same-seed runs diverge
+		// from here on (the PR 8 audit bug class).
+		for key, ver := range detmap.Sorted(acked) {
 			g := kv2.Get(t, key)
 			if g.Found && g.Ver >= ver {
 				res.survived++

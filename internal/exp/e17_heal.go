@@ -11,6 +11,7 @@ import (
 	"chanos/internal/machine"
 	"chanos/internal/net"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/stats"
 	"chanos/internal/store"
 	"chanos/internal/telemetry"
@@ -330,7 +331,9 @@ func e17Audit(cores int, seed uint64, p store.Params, datas []map[int][]byte, ac
 	}
 	kv := store.New(w.rt, k, p, disks)
 	w.rt.Boot("auditor", func(t *core.Thread) {
-		for key, ver := range acked {
+		// Sorted order: the audit's Gets consume engine events, and raw
+		// map order would perturb same-seed replay (PR 8's bug class).
+		for key, ver := range detmap.Sorted(acked) {
 			g := kv.Get(t, key)
 			if g.Found && g.Ver >= ver {
 				survived++

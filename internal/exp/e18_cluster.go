@@ -12,13 +12,13 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strings"
 
 	"chanos/internal/cluster"
 	"chanos/internal/core"
 	"chanos/internal/net"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/stats"
 	"chanos/internal/store"
 	"chanos/internal/telemetry"
@@ -206,11 +206,7 @@ func e18Audit(c *cluster.Cluster, pool *cluster.Pool) (keys, lost int) {
 	// The audit's Gets consume engine events while the fleet is still
 	// live, so they must issue in a deterministic order — never raw map
 	// order, or the whole run diverges from here on.
-	acked := make([]string, 0, len(pool.AckedPuts))
-	for key := range pool.AckedPuts {
-		acked = append(acked, key)
-	}
-	sort.Strings(acked)
+	acked := detmap.Keys(pool.AckedPuts)
 	audited := false
 	c.Nodes[0].RT.Boot("e18.audit", func(t *core.Thread) {
 		for _, key := range acked {

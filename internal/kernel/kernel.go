@@ -18,9 +18,9 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
 
 	"chanos/internal/core"
+	"chanos/internal/sim/detmap"
 )
 
 // Request is the kernel syscall message format. Reply is the channel the
@@ -260,12 +260,7 @@ func (k *Kernel) Post(t *core.Thread, service string, key int, op string, arg co
 // serviceNames returns service names in sorted order (map iteration
 // order would make shutdown nondeterministic).
 func (k *Kernel) serviceNames() []string {
-	names := make([]string, 0, len(k.services))
-	for n := range k.services {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return detmap.Keys(k.services)
 }
 
 // Stop closes all service channels; service threads drain and exit.

@@ -1,0 +1,16 @@
+package lint
+
+// All returns the chanos-vet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, WallClock, SharedState, MsgOwnership}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

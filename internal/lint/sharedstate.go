@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// SharedState codifies the paper's core structural rule — no shared
+// mutable memory between shard-owned handler threads — at the source
+// level. In everything outside the allowlisted engine/device layer
+// (see engineLayer in scope.go) it forbids:
+//
+//   - sync.Mutex / sync.RWMutex (and the rest of sync's shared-memory
+//     coordination types: WaitGroup, Once, Cond, Map, Pool) — if two
+//     handlers need to coordinate, they exchange messages;
+//   - any use of sync/atomic — atomics are shared memory with the
+//     lock hidden in the cache-coherence protocol, which is exactly
+//     the hardware dependence the paper argues an OS must shed;
+//   - raw `go` statements — every concurrent actor in the simulation
+//     is a simulated thread scheduled by the engine; a host goroutine
+//     runs off the virtual clock and races the deterministic schedule.
+var SharedState = &Analyzer{
+	Name: "sharedstate",
+	Doc:  "forbid sync.Mutex/RWMutex, sync/atomic, and raw go statements in shard-owned handler code (message passing only)",
+	Run:  runSharedState,
+}
+
+var bannedSync = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true, "Locker": true,
+}
+
+func runSharedState(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "sync/atomic" {
+				p.Reportf(imp.Pos(), "import of sync/atomic in shard-owned code: atomics are shared mutable memory; coordinate by message instead")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "raw go statement in shard-owned code: spawn a simulated thread through the engine so the scheduler (and the replay contract) owns it")
+			case *ast.SelectorExpr:
+				pkgName, ok := selPackage(p, n)
+				if !ok {
+					return true
+				}
+				switch pkgName {
+				case "sync":
+					if bannedSync[n.Sel.Name] {
+						p.Reportf(n.Pos(), "sync.%s in shard-owned code: shard state is private by contract; replace the shared structure with a message exchange", n.Sel.Name)
+					}
+				case "sync/atomic":
+					p.Reportf(n.Pos(), "atomic.%s in shard-owned code: atomics are shared mutable memory; coordinate by message instead", n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,44 @@
+// Golden fixture for the mapiter analyzer: one seeded violation, two
+// clean shapes (an order-insensitive fold and a detmap rewrite), and
+// one waived range. The package is loaded by golden_test.go under a
+// schedule-affecting import path so the analyzer applies.
+package fx_mapiter
+
+import "chanos/internal/sim/detmap"
+
+// dispatch issues one call per entry in raw map order — the seeded
+// violation: each handler invocation lands on the event schedule in a
+// different order every run.
+func dispatch(m map[string]func()) {
+	for _, f := range m { // want "range over map"
+		f()
+	}
+}
+
+// count is an order-insensitive fold: commutative accumulation only,
+// no calls, no order-dependent state. The analyzer must stay quiet.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sortedDispatch is the sanctioned rewrite: detmap.Sorted yields a
+// func-range, not a map range, so there is nothing to flag.
+func sortedDispatch(m map[string]func()) {
+	for _, f := range detmap.Sorted(m) {
+		f()
+	}
+}
+
+// waivedDispatch shows the escape hatch: a justified inline waiver on
+// the line above the range suppresses the finding (and golden_test.go
+// asserts the waiver registers as used).
+func waivedDispatch(m map[string]func()) {
+	//chanos:allow mapiter fixture: callbacks here are order-independent by construction
+	for _, f := range m {
+		f()
+	}
+}

@@ -1,0 +1,21 @@
+package fx_mapiter
+
+// Regression fixture: the exact shape of the PR 8 map-order audit bug
+// (and its PR 9 recurrences in the E16/E17 auditors). A verification
+// pass walks the acked-puts ledger and issues a Get per key *while the
+// engine is still running* — each Get consumes engine events, so raw
+// map order makes same-seed runs diverge from the first audit onward.
+type ledger struct {
+	AckedPuts map[string]uint64
+}
+
+func auditAckedPuts(l *ledger, get func(key string) (uint64, bool)) int {
+	bad := 0
+	for key, ver := range l.AckedPuts { // want "range over map"
+		got, ok := get(key)
+		if !ok || got != ver {
+			bad++
+		}
+	}
+	return bad
+}

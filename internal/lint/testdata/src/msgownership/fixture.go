@@ -1,0 +1,45 @@
+// Golden fixture for the msgownership analyzer: ownership of a
+// reference-typed payload transfers at the channel send, so any write
+// through it afterwards aliases the receiver's copy. Seeded
+// violations cover the element store, the self-append and the
+// copy-into forms; the clean shapes are rebind-then-write and
+// copy-before-send.
+package fx_msgownership
+
+func elementStore(ch chan []byte, buf []byte) {
+	ch <- buf
+	buf[0] = 1 // want `write to buf\[0\] after it was sent on a channel`
+}
+
+func selfAppend(ch chan []byte, buf []byte) {
+	ch <- buf
+	buf = append(buf, 1) // want `write to buf = append\(buf, ...\) after it was sent`
+	_ = buf
+}
+
+func copyInto(ch chan []byte, buf, src []byte) {
+	ch <- buf
+	copy(buf, src) // want `write to copy\(buf, ...\) after it was sent`
+}
+
+// rebindThenWrite releases the sent buffer by rebinding the variable
+// to a fresh allocation before writing — clean.
+func rebindThenWrite(ch chan []byte, buf []byte) {
+	ch <- buf
+	buf = make([]byte, 4)
+	buf[0] = 1
+	_ = buf
+}
+
+// copyBeforeSend is the sanctioned idiom: the receiver gets its own
+// copy, the sender keeps writing its original — clean.
+func copyBeforeSend(ch chan []byte, buf []byte) {
+	ch <- append([]byte(nil), buf...)
+	buf[0] = 1
+}
+
+// waivedWrite shows the escape hatch with a justified waiver.
+func waivedWrite(ch chan []byte, buf []byte) {
+	ch <- buf
+	buf[0] = 1 //chanos:allow msgownership fixture: receiver is the same thread in this test rig
+}

@@ -1,0 +1,41 @@
+// Golden fixture for the sharedstate analyzer: a mutex-guarded
+// structure and a raw go statement are the seeded violations; the
+// clean shape is the message-passing idiom the tree actually uses.
+package fx_sharedstate
+
+import "sync"
+
+// counter is shared mutable state behind a lock — the contract says a
+// shard owns its state privately and coordinates by message.
+type counter struct {
+	mu sync.Mutex // want `sync\.Mutex in shard-owned code`
+	n  int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock() // the decl above carries the finding; lock calls go through the field
+	c.n++
+	c.mu.Unlock()
+}
+
+// spawn starts a goroutine outside the engine's scheduler — the replay
+// contract cannot see it.
+func spawn(f func()) {
+	go f() // want "raw go statement in shard-owned code"
+}
+
+// serve is the clean shape: state owned by one loop, mutated only by
+// messages received on its channel.
+func serve(reqs chan int) int {
+	n := 0
+	for d := range reqs {
+		n += d
+	}
+	return n
+}
+
+// waivedSpawn shows the escape hatch with a justified waiver.
+func waivedSpawn(f func()) {
+	//chanos:allow sharedstate fixture: host-side helper thread, runs outside the simulated machine
+	go f()
+}

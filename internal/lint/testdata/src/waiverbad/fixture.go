@@ -1,0 +1,18 @@
+// Golden fixture for waiver hygiene: both waivers below are
+// malformed — one has no justification, one names an analyzer that
+// does not exist — so neither may suppress the finding on its range.
+package fx_waiverbad
+
+func noJustification(m map[string]func()) {
+	//chanos:allow mapiter
+	for _, f := range m { // want "range over map"
+		f()
+	}
+}
+
+func unknownAnalyzer(m map[string]func()) {
+	//chanos:allow mapitr typo in the analyzer name
+	for _, f := range m { // want "range over map"
+		f()
+	}
+}

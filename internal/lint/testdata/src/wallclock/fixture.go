@@ -1,0 +1,38 @@
+// Golden fixture for the wallclock analyzer: host-clock reads and
+// global-rand draws are the seeded violations; seeded generators and
+// plain time-typed arithmetic are the clean shapes.
+package fx_wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the host clock — nondeterministic across runs and
+// machines, the seeded violation.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the host clock`
+}
+
+// jitter draws from the process-global source, which Go seeds
+// randomly — the other seeded violation.
+func jitter() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global process-seeded source`
+}
+
+// seededJitter threads an explicitly seeded generator — clean.
+func seededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// double does arithmetic on time-typed values without touching the
+// host clock — clean; only the banned functions flag.
+func double(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// waivedStamp shows the escape hatch with a justified waiver.
+func waivedStamp() int64 {
+	return time.Now().UnixNano() //chanos:allow wallclock fixture: host-side log banner, never feeds the simulation
+}

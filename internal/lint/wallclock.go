@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids reading the host's clock or its global RNG inside
+// the simulation: time.Now and friends, timers, and unseeded math/rand
+// anywhere under internal/ and examples/. The simulated machine has
+// exactly one clock (sim.Engine.Now, in CPU cycles) and one randomness
+// source (the engine's seeded RNG); a single wall-clock read or global
+// rand call threads host state into the run and breaks replay-from-
+// seed. Constructing seeded generators (rand.New(rand.NewSource(s)))
+// stays legal — the ban is on the ambient sources, not on randomness.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/timers and unseeded math/rand in simulation code (simulated clock and seeded RNG only)",
+	Run:  runWallClock,
+}
+
+// bannedTime: package time's ambient-clock entry points. Types
+// (time.Duration, time.Time) and constants (time.Millisecond) are fine.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "Sleep": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRand / allowedRandV2: constructors for explicitly seeded
+// generators. Everything else at package level draws from the global,
+// process-seeded source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// Types are fine too: a field declared *rand.Rand names the package.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+var allowedRandV2 = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+	"Rand": true, "Source": true, "PCG": true, "ChaCha8": true, "Zipf": true,
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName, ok := selPackage(p, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName {
+			case "time":
+				if bannedTime[name] {
+					p.Reportf(sel.Pos(), "time.%s reads the host clock: simulation code must use the engine's virtual clock (sim.Engine.Now/After)", name)
+				}
+			case "math/rand":
+				if !allowedRand[name] {
+					p.Reportf(sel.Pos(), "rand.%s draws from the global process-seeded source: use the engine's seeded RNG (rand.New(rand.NewSource(seed)))", name)
+				}
+			case "math/rand/v2":
+				if !allowedRandV2[name] {
+					p.Reportf(sel.Pos(), "rand.%s draws from the global source: use an explicitly seeded generator", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// selPackage resolves sel's X to an imported package name, returning
+// its import path.
+func selPackage(p *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,9 +1,8 @@
 package net
 
 import (
-	"sort"
-
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 )
 
 // ConnSnapshot is one connection's netstack state as captured into a
@@ -48,15 +47,10 @@ func (s *Stack) SnapshotShards() []StackShardSnapshot {
 			continue
 		}
 		snap := StackShardSnapshot{Shard: i, TimeWait: len(st.closed), Counters: st.m}
-		ids := make([]int, 0, len(st.conns))
-		for id := range st.conns {
-			ids = append(ids, int(id))
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			c := st.conns[ConnID(id)]
+		for _, id := range detmap.Keys(st.conns) {
+			c := st.conns[id]
 			snap.Conns = append(snap.Conns, ConnSnapshot{
-				ID:             id,
+				ID:             int(id),
 				Port:           c.port,
 				NextSeq:        c.snd.nextSeq,
 				RecvNext:       c.rcv.next,

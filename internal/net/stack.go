@@ -2,12 +2,12 @@ package net
 
 import (
 	"fmt"
-	"sort"
 
 	"chanos/internal/core"
 	"chanos/internal/kernel"
 	"chanos/internal/machine"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 )
 
 // StackParams tunes the netstack service.
@@ -305,13 +305,8 @@ func (s *Stack) ensureSweep(t *core.Thread, st *shardState) {
 func (s *Stack) sweep(t *core.Thread, st *shardState) {
 	st.sweepArmed = false
 	now := s.rt.Eng.Now()
-	ids := make([]int, 0, len(st.conns))
-	for id := range st.conns {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		c := st.conns[ConnID(id)]
+	for _, id := range detmap.Keys(st.conns) {
+		c := st.conns[id]
 		if now-c.lastRx <= s.P.IdleCycles {
 			continue
 		}

@@ -19,11 +19,11 @@ package store
 
 import (
 	"encoding/binary"
-	"sort"
 
 	"chanos/internal/blockdev"
 	"chanos/internal/core"
 	"chanos/internal/kernel"
+	"chanos/internal/sim/detmap"
 )
 
 // Superblock encoding: magic, epoch, complemented epoch (a torn or
@@ -139,12 +139,7 @@ func (sh *shard) resumeCompaction(t *core.Thread, srcUsedBytes int) {
 }
 
 func sortedKeys(idx map[string]loc) []string {
-	keys := make([]string, 0, len(idx))
-	for k := range idx {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return detmap.Keys(idx)
 }
 
 // scheduleCompact arms the next increment as a deferred self-message,

@@ -1,9 +1,8 @@
 package store
 
 import (
-	"sort"
-
 	"chanos/internal/blockdev"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/telemetry"
 )
 
@@ -113,12 +112,7 @@ func (s *Store) SnapshotShards() []ShardSnapshot {
 		for _, prs := range sh.reads {
 			snap.ParkedReads += len(prs)
 		}
-		keys := make([]string, 0, len(sh.idx))
-		for k := range sh.idx {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range detmap.Keys(sh.idx) {
 			l := sh.idx[k]
 			snap.Index = append(snap.Index, IndexEntry{
 				Key: k, Block: l.block, Off: l.off, VLen: l.vlen,

@@ -1,6 +1,6 @@
 package store
 
-import "sort"
+import "chanos/internal/sim/detmap"
 
 // lruCache is the per-shard block cache: sealed log blocks keyed by
 // block number, least-recently-used eviction. It is owned by exactly
@@ -61,14 +61,10 @@ func (c *lruCache) put(block int, data []byte) {
 // impossible by construction, not by luck. Candidates are sorted so the
 // eviction order (and thus the recency list) replays deterministically.
 func (c *lruCache) dropRange(start, end int) {
-	var drop []int
-	for b := range c.m {
-		if b >= start && b < end {
-			drop = append(drop, b)
+	for _, b := range detmap.Keys(c.m) {
+		if b < start || b >= end {
+			continue
 		}
-	}
-	sort.Ints(drop)
-	for _, b := range drop {
 		n := c.m[b]
 		c.unlink(n)
 		delete(c.m, b)

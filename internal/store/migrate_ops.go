@@ -12,10 +12,10 @@ package store
 
 import (
 	"fmt"
-	"sort"
 
 	"chanos/internal/core"
 	"chanos/internal/kernel"
+	"chanos/internal/sim/detmap"
 )
 
 type putvArg struct {
@@ -156,15 +156,11 @@ func (sh *shard) delV(t *core.Thread, a delvArg, reply *core.Chan) core.Msg {
 // in [start, end). Read-only, answers immediately; values never leave
 // through here.
 func (sh *shard) export(a exportArg) exportResult {
-	var keys []string
-	for k := range sh.idx {
-		if k >= a.Start && (a.End == "" || k < a.End) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
 	out := exportResult{}
-	for _, k := range keys {
+	for _, k := range detmap.Keys(sh.idx) {
+		if k < a.Start || (a.End != "" && k >= a.End) {
+			continue
+		}
 		l := sh.idx[k]
 		out.Entries = append(out.Entries, ExportEntry{Key: k, Ver: l.ver, Dead: l.dead})
 	}

@@ -45,6 +45,7 @@ import (
 	"chanos/internal/core"
 	"chanos/internal/kernel"
 	"chanos/internal/sim"
+	"chanos/internal/sim/detmap"
 	"chanos/internal/telemetry"
 )
 
@@ -901,12 +902,11 @@ func (sh *shard) scan(a scanArg) ScanResult {
 		return ScanResult{Err: sh.failed}
 	}
 	var keys []string
-	for k, l := range sh.idx {
-		if !l.dead && strings.HasPrefix(k, a.Prefix) {
+	for _, k := range detmap.Keys(sh.idx) {
+		if l := sh.idx[k]; !l.dead && strings.HasPrefix(k, a.Prefix) {
 			keys = append(keys, k)
 		}
 	}
-	sort.Strings(keys)
 	if a.Limit > 0 && len(keys) > a.Limit {
 		keys = keys[:a.Limit]
 	}
@@ -1150,12 +1150,7 @@ func (sh *shard) failStop(t *core.Thread, err string) {
 		}
 	}
 	sh.replReads = nil
-	blocks := make([]int, 0, len(sh.reads))
-	for b := range sh.reads {
-		blocks = append(blocks, b)
-	}
-	sort.Ints(blocks)
-	for _, b := range blocks {
+	for _, b := range detmap.Keys(sh.reads) {
 		for _, pr := range sh.reads[b] {
 			if pr.reply != nil {
 				pr.reply.Send(t, GetResult{Err: err})

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"chanos/internal/sim/detmap"
 	"chanos/internal/stats"
 )
 
@@ -255,7 +256,8 @@ func foldService(name string, perShard [][]Value) ServiceStats {
 			}
 		}
 	}
-	for name, h := range hists {
+	for _, name := range detmap.Keys(hists) {
+		h := hists[name]
 		svc.Totals[idx[name]].Hist = histStats(h)
 		svc.Totals[idx[name]].h = h
 	}

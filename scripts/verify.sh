@@ -2,7 +2,8 @@
 # verify.sh — the repo's tier-1 gate plus quick experiment smokes.
 #
 # Usage: scripts/verify.sh [-short]
-#   -short   skip the E14/E15 smokes (build/vet/test only)
+#   -short   skip the experiment smokes (build/vet/chanos-vet/gofmt/
+#            test + race tier only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== chanos-vet ./... (determinism + no-shared-memory contracts)"
+# Hard gate: any non-waived finding from the four custom analyzers
+# (mapiter, wallclock, sharedstate, msgownership) fails the build.
+# Suppression is only possible via inline, justified
+# //chanos:allow waivers, which the tool counts and prints.
+go run ./cmd/chanos-vet ./...
+
 echo "== gofmt check"
 badfmt=$(gofmt -l .)
 if [ -n "$badfmt" ]; then
@@ -25,6 +33,14 @@ fi
 
 echo "== go test ./..."
 go test ./...
+
+echo "== go test -race -short ./..."
+# The race tier runs in -short mode too: the simulator's contract is
+# no shared memory outside the engine layer, and the detector holds
+# the engine/device layer (the one place goroutines are allowed) to
+# it. Long sweeps are skipped — the schedules they explore don't add
+# new happens-before edges, just more of the same ones.
+go test -race -short ./...
 
 if [ "$short" = "0" ]; then
     echo "== E14 netstack smoke (quick)"
