@@ -55,11 +55,30 @@ func main() {
 		dumpOnFail = flag.String("dump-on-fail", "", "kvload: write a machine core dump into this directory on any shard fail-stop")
 		replay     = flag.String("replay", "", "replay a machine core dump: rebuild its world and halt at the recorded event count")
 		redump     = flag.String("redump", "", "with -replay: re-dump the halted machine to this path (differential check)")
+
+		chaosSchedule = flag.String("chaos-schedule", "", "run one chaos fault schedule against the selected scenario (\"gen\" = derive one from the seed); red exits 1")
+		chaosSeeds    = flag.Int("chaos-seeds", 0, "fan N seeded chaos schedules across the scenario matrix; any red exits 1")
+		chaosOut      = flag.String("chaos-out", "", "with -chaos-seeds: write the matrix summary JSON here")
 	)
 	flag.Parse()
 
 	if *replay != "" {
 		os.Exit(replayDump(*replay, *redump))
+	}
+	if *chaosSeeds > 0 {
+		os.Exit(runChaosSweep(*chaosSeeds, *seed, *dumpOnFail, *chaosOut))
+	}
+	if *chaosSchedule != "" {
+		m := *machines
+		if *scenario == dump.ScenarioCluster && m == 0 {
+			m = 3
+		}
+		os.Exit(runChaosSchedule(*chaosSchedule, dump.Config{
+			Cores: *cores, Shards: *shards, Clients: *clients,
+			Requests: *requests, ReadPct: *readPct, Keys: *keys,
+			LogBlocks: *logBlocks, Replicas: *replicas, Loss: *loss,
+			Machines: m, RF: *rf,
+		}, *seed, *dumpOnFail))
 	}
 	if *scenario != "" {
 		os.Exit(runScenario(*scenario, dump.Config{
@@ -325,6 +344,11 @@ func replayDump(path, redumpPath string) int {
 	}
 	fmt.Printf("replay: scenario %s, seed %d, target event %d (%q)\n",
 		d.Config.Scenario, d.Seed, d.EventCount, d.Reason)
+	if d.Config.Chaos != "" {
+		// The dump's event sequence includes a fault schedule; the chaos
+		// harness re-arms it and re-runs the identical phases.
+		return replayChaos(d)
+	}
 	var c *dump.Collector
 	if d.Config.Scenario == dump.ScenarioCluster {
 		w, _, err := dump.ReplayCluster(d)

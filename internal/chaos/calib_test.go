@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"testing"
+
+	"chanos/internal/dump"
+)
+
+// TestChaosCalibration logs the magnitudes the Generate windows are
+// tuned against — event counts and cycle spans of a fault-free run per
+// scenario family. Run with -v when retuning the generator constants;
+// it asserts only that the harness itself holds (green run, no
+// violations, clean audit).
+func TestChaosCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe: full tier only")
+	}
+	rows := DefaultRows(true)
+	for _, row := range rows {
+		row := row
+		t.Run(row.Label, func(t *testing.T) {
+			r, err := Run(Spec{Label: row.Label, Seed: 1, Cfg: row.Cfg,
+				Sched: Schedule{}, DumpDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: events=%d cycles=%d audit=%d lifecycles=%v flight=%v",
+				row.Label, r.EventCount, r.EndCycles, r.AuditKeys, r.Lifecycles, r.FlightKinds)
+			if r.Red() {
+				t.Fatalf("fault-free run is red: %v", r.Details)
+			}
+			if r.AuditKeys == 0 {
+				t.Fatal("ledger tracked no acked writes")
+			}
+		})
+	}
+}
+
+// Keep dump import for config literals used by other tests in this
+// package.
+var _ = dump.Config{}

@@ -81,9 +81,21 @@ type MigrationReport struct {
 // immediately; drive the engine to completion and read the report via
 // the callback (nil ok).
 func (c *Cluster) Migrate(rangeIdx, dest int, onDone func(MigrationReport)) {
-	src := c.Nodes[c.Nodes[0].smap.Places[rangeIdx].Node]
-	if src.mig != nil {
+	if !c.TryMigrate(rangeIdx, dest, onDone) {
 		panic("cluster: node is already migrating")
+	}
+}
+
+// TryMigrate is Migrate for callers whose schedule may collide with a
+// migration already in flight (the chaos harness composes seeded fault
+// clauses that can land on a busy source): it reports false instead of
+// panicking when the source node is mid-migration, and true once the
+// protocol thread is booted. Migrating a range onto its current owner
+// is likewise refused — the protocol assumes distinct endpoints.
+func (c *Cluster) TryMigrate(rangeIdx, dest int, onDone func(MigrationReport)) bool {
+	src := c.Nodes[c.Nodes[0].smap.Places[rangeIdx].Node]
+	if src.mig != nil || src.ID == dest {
+		return false
 	}
 	dst := c.Nodes[dest]
 	start, end := src.smap.Range(rangeIdx)
@@ -95,6 +107,7 @@ func (c *Cluster) Migrate(rangeIdx, dest int, onDone func(MigrationReport)) {
 			onDone(rep)
 		}
 	})
+	return true
 }
 
 func (n *Node) runMigration(t *core.Thread, m *migration, rangeIdx int, dst *Node) MigrationReport {

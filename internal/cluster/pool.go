@@ -49,9 +49,17 @@ type Pool struct {
 	// machine loss the cluster claims to tolerate.
 	AckedPuts map[string]uint64
 
-	smap *ShardMap // the fleet's shared cached map
-	val  []byte
+	smap    *ShardMap // the fleet's shared cached map
+	val     []byte
+	stopped bool
 }
+
+// Stop retires the fleet: each client finishes the request it has in
+// flight (redirect chases and cool-off retries included) and does not
+// draw another. Host-side drive-loop policy, like the drive loop's
+// stall budget — call it between run slices, and the retirement instant
+// is as deterministic as the caller's slice boundary.
+func (pl *Pool) Stop() { pl.stopped = true }
 
 // NewPool starts the fleet against c, seeded with node 0's current
 // map. Clients begin dialling immediately with staggered offsets.
@@ -91,6 +99,9 @@ func (pl *Pool) think(rng *sim.RNG) uint64 {
 // step issues one request: draw it, route it by the cached map, chase
 // redirects within the budget, then reschedule — the closed loop.
 func (pl *Pool) step(rng *sim.RNG) {
+	if pl.stopped {
+		return
+	}
 	key := pl.p.Keys[rng.Uint64n(uint64(len(pl.p.Keys)))]
 	req := store.KVRequest{Op: store.WPut, Key: key, Val: pl.val}
 	if int(rng.Uint64n(100)) < pl.p.ReadPct {

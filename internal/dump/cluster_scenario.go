@@ -56,10 +56,24 @@ type ClusterWorld struct {
 	Cl   *cluster.Cluster
 	Pool *cluster.Pool
 
+	// OnSlice, when set, runs in host context after each drive slice of
+	// the fleet phase (slice index from 0) — the cluster twin of
+	// World.OnSlice, used by the chaos harness to sample replica lag.
+	OnSlice func(i int)
+
+	// StallBudget overrides the zero-progress slice tolerance (0 = the
+	// default 200). Host-side drive-loop policy, never event-sequence
+	// state — see World.StallBudget.
+	StallBudget int
+
 	keys []string
 	seed uint64
 	cfg  Config
 }
+
+// Keys returns the scenario keyspace (the pool draws uniformly from
+// it; prefill wrote every entry at its owning node).
+func (w *ClusterWorld) Keys() []string { return w.keys }
 
 // BuildCluster boots a cluster world. As with Build, the construction
 // order here is the event-sequence contract between a run that wrote a
@@ -142,10 +156,17 @@ func (w *ClusterWorld) Run() *Report {
 		Clients: w.cfg.Clients, Keys: w.keys, ReadPct: w.cfg.ReadPct,
 		ValBytes: w.cfg.ValBytes, ThinkCycles: 4_000, Seed: w.seed + 3,
 	})
+	budget := w.StallBudget
+	if budget <= 0 {
+		budget = 200
+	}
 	stalled := 0
-	for w.Pool.Ops < uint64(w.cfg.Requests) && !eng.StopReached() {
+	for i := 0; w.Pool.Ops < uint64(w.cfg.Requests) && !eng.StopReached(); i++ {
 		before := w.Pool.Ops
 		w.Cl.RunFor(slice)
+		if w.OnSlice != nil {
+			w.OnSlice(i)
+		}
 		if eng.StopReached() {
 			break
 		}
@@ -154,7 +175,7 @@ func (w *ClusterWorld) Run() *Report {
 		} else {
 			stalled = 0
 		}
-		if stalled >= 200 {
+		if stalled >= budget {
 			r.Stalled = true
 			break
 		}
@@ -175,6 +196,11 @@ func (w *ClusterWorld) Run() *Report {
 func ReplayCluster(d *Dump) (*ClusterWorld, *Report, error) {
 	if d.Config.Scenario != ScenarioCluster {
 		return nil, nil, fmt.Errorf("scenario %q is not a cluster dump", d.Config.Scenario)
+	}
+	if d.Config.Chaos != "" {
+		// See Replay: the fault schedule is part of the event sequence
+		// and internal/chaos owns its arming.
+		return nil, nil, fmt.Errorf("dump carries a chaos schedule %q: replay it through chaos.ReplayCluster (chanos-sim -replay routes there)", d.Config.Chaos)
 	}
 	w := BuildCluster(d.Seed, d.Config)
 	w.C.Eng.StopAtFired(d.EventCount)

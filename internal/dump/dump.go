@@ -37,9 +37,12 @@ import (
 // which config knobs shape the event sequence, bumps it. Version 2
 // added the cluster topology: Config.Machines/RF select an N-machine
 // scenario whose event sequence a v1 build cannot reproduce, and the
-// Machines section carries every node's full capture. Decode refuses
-// dumps from a newer schema than it understands.
-const Version = 2
+// Machines section carries every node's full capture. Version 3 added
+// Config.Chaos: a serialized fault schedule (internal/chaos) whose
+// triggers are part of the event sequence, so a v2 build cannot
+// reproduce a chaos dump. Decode refuses dumps from a newer schema
+// than it understands.
+const Version = 3
 
 // Config is the scenario recipe half of a dump's reproduction triple.
 // Every knob that shapes the event sequence must be here — anything
@@ -66,6 +69,13 @@ type Config struct {
 	// (internal/cluster). 0 machines = the single-machine scenarios.
 	Machines int `json:"machines,omitempty"`
 	RF       int `json:"rf,omitempty"`
+	// Chaos is a serialized fault schedule (internal/chaos grammar:
+	// `trigger:arg:fault:args...` clauses joined by `;`). Its triggers
+	// and injections are engine events, so the schedule is part of the
+	// event sequence and rides the dump — a red chaos seed replays
+	// through chaos.Replay with the identical fault timeline. Empty =
+	// no schedule (every pre-chaos dump).
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // Dump is one whole-machine core dump.

@@ -65,6 +65,22 @@ type World struct {
 	// cannot perturb the simulation.
 	OnSlice func(i int)
 
+	// StallBudget overrides how many consecutive zero-progress drive
+	// slices Run tolerates before declaring the fleet stalled (0 = the
+	// default 50). Host-side drive-loop policy only — it never touches
+	// the event sequence, so a replay may use any budget large enough
+	// to reach the recorded event. The chaos harness raises it past
+	// the wire's ~57M-cycle RTO give-up horizon so a run that must
+	// *detect* a dead replica isn't misread as a hung one.
+	StallBudget int
+
+	// TapReq/TapResp, when set before Run, observe every request the
+	// main pool draws and every response it receives (engine context,
+	// same instants either way — pure observation). The chaos harness
+	// builds its acked-write ledger here.
+	TapReq  func(client int, m core.Msg)
+	TapResp func(client int, m core.Msg)
+
 	// Pool and RPool are the live client fleets, set when Run builds
 	// them (RPool only with ReplicaReads) — OnSlice hooks read progress
 	// from here.
@@ -221,14 +237,25 @@ func (w *World) Run() *Report {
 		w.RPool = r.RPool
 	}
 
+	makeReq := w.WL.MakeReq
+	if w.TapReq != nil {
+		makeReq = func(client, req int) (core.Msg, int) {
+			m, n := w.WL.MakeReq(client, req)
+			w.TapReq(client, m)
+			return m, n
+		}
+	}
 	pool := net.NewClientPool(w.NW, net.ClientParams{
 		Port:        6379,
 		Clients:     w.cfg.Clients,
 		ReqsPerConn: 8,
 		ThinkCycles: 2000,
 		Seed:        w.seed,
-		MakeReq:     w.WL.MakeReq,
+		MakeReq:     makeReq,
 		OnResp: func(client, req int, payload core.Msg) {
+			if w.TapResp != nil {
+				w.TapResp(client, payload)
+			}
 			resp, ok := payload.(store.KVResponse)
 			if !ok || resp.Err != "" {
 				r.Errs++
@@ -243,6 +270,10 @@ func (w *World) Run() *Report {
 	w.Pool = pool
 
 	slice := w.Sys.Cycles(0.0002)
+	budget := w.StallBudget
+	if budget <= 0 {
+		budget = 50
+	}
 	stalled := 0
 	for i := 0; pool.Responses < uint64(w.cfg.Requests) && !eng.StopReached(); i++ {
 		before := pool.Responses
@@ -258,7 +289,7 @@ func (w *World) Run() *Report {
 		} else {
 			stalled = 0
 		}
-		if stalled >= 50 {
+		if stalled >= budget {
 			r.Stalled = true
 			break
 		}
@@ -286,6 +317,12 @@ func Replay(d *Dump) (*World, *Report, error) {
 	if d.Config.Scenario != ScenarioKVLoad {
 		return nil, nil, fmt.Errorf("scenario %q is not replayable (only %q worlds boot from a config; this dump still inspects and diffs)",
 			d.Config.Scenario, ScenarioKVLoad)
+	}
+	if d.Config.Chaos != "" {
+		// A chaos dump's event sequence includes its fault schedule;
+		// replaying without arming it would diverge. internal/chaos owns
+		// that arming (chaos.Replay) — dump cannot import it.
+		return nil, nil, fmt.Errorf("dump carries a chaos schedule %q: replay it through chaos.Replay (chanos-sim -replay routes there)", d.Config.Chaos)
 	}
 	w := Build(d.Seed, d.Config)
 	w.Sys.Eng.StopAtFired(d.EventCount)

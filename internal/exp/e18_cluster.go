@@ -181,7 +181,70 @@ func e18Cluster(o Options) []*stats.Table {
 	if rep != nil {
 		nt.Note("migration copied %d records; map flipped to version %d", rep.Copied, rep.MapVersion)
 	}
-	return []*stats.Table{pt, nt}
+	tables := []*stats.Table{pt, nt}
+	if !o.Quick {
+		tables = append(tables, e18Scaling(o, seed))
+	}
+	return tables
+}
+
+// e18Scaling reruns the healthy-cluster phase at wider fabrics: the
+// same service, the same fleet discipline, at 3, 5 and 7 serving nodes
+// (x 1+RF machines each). The claim under test is structural — adding
+// nodes adds capacity without any shared-memory coupling to pay for —
+// so the table reports throughput alongside the same zero-loss audit
+// every row of E18 proper answers to.
+func e18Scaling(o Options, seed uint64) *stats.Table {
+	numKeys := 210
+	window := sim.Time(8_000_000)
+	st := stats.NewTable("E18c / fabric scaling: the same service at N serving nodes",
+		"nodes", "machines", "clients", "ops", "ops/sec", "moved", "lost", "errs", "audit keys", "audit lost")
+	for _, nodes := range []int{3, 5, 7} {
+		keys := make([]string, numKeys)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key/%05d", i)
+		}
+		splits := make([]string, 0, nodes-1)
+		for i := 1; i < nodes; i++ {
+			splits = append(splits, keys[numKeys*i/nodes])
+		}
+		eng := sim.NewEngine()
+		c := cluster.New(eng, cluster.Params{
+			Nodes:  nodes,
+			Splits: splits,
+			RF:     e18RF,
+			Cores:  8,
+			Seed:   seed + uint64(nodes),
+			Store:  store.Params{Shards: 2, CacheBlocks: 16, FlushCycles: 20_000},
+			Wire:   net.DefaultWireParams(),
+		})
+		for step := 0; step < 2000; step++ {
+			c.RunFor(100_000)
+			ready := true
+			for _, n := range c.Nodes {
+				if !n.KV.ReplCaughtUp() {
+					ready = false
+				}
+			}
+			if ready {
+				break
+			}
+		}
+		clients := 6 * nodes
+		pool := c.NewPool(cluster.PoolParams{Clients: clients, Keys: keys, ReadPct: 30,
+			ValBytes: e18ValBytes, ThinkCycles: 4000, Seed: seed + 3})
+		for drove := sim.Time(0); drove < window; drove += 100_000 {
+			c.RunFor(100_000)
+		}
+		audKeys, audLost := e18Audit(c, pool)
+		st.AddRow(fmt.Sprint(nodes), fmt.Sprint(nodes*(1+e18RF)), fmt.Sprint(clients),
+			fmt.Sprint(pool.Ops), stats.F(float64(pool.Ops)/c.Nodes[0].M.Seconds(window)),
+			fmt.Sprint(pool.Moved), fmt.Sprint(pool.Lost), fmt.Sprint(pool.Errs),
+			fmt.Sprint(audKeys), fmt.Sprint(audLost))
+		c.Shutdown()
+	}
+	st.Note("clients scale with the fabric (6 per node); contract: lost, errs and audit lost are 0 on every row")
+	return st
 }
 
 // e18Replicas renders a store's per-slot attachment states compactly

@@ -37,7 +37,16 @@ type ClientPool struct {
 	Responses uint64
 	Failed    uint64          // connection attempts abandoned after retries
 	Lat       stats.Histogram // request → response latency, cycles
+
+	stopped bool
 }
+
+// Stop retires the fleet: each client finishes its in-flight exchange,
+// closes its connection, and stops rescheduling — new dials and new
+// requests on open connections cease. Host-side drive-loop policy, like
+// a World's StallBudget: call it between run slices, and the retirement
+// instant is as deterministic as the caller's slice boundary.
+func (cp *ClientPool) Stop() { cp.stopped = true }
 
 // NewClientPool starts the fleet; clients begin dialling immediately
 // with deterministic, seed-staggered think offsets.
@@ -79,6 +88,9 @@ func (cp *ClientPool) makeReq(client, req int) (core.Msg, int) {
 // dial runs one connection lifecycle for client i, then reschedules
 // itself — the closed loop.
 func (cp *ClientPool) dial(i int, rng *sim.RNG) {
+	if cp.stopped {
+		return
+	}
 	var sent int
 	var t0 sim.Time
 	finished := false // exactly one of OnClose/OnFail continues the loop
@@ -96,7 +108,7 @@ func (cp *ClientPool) dial(i int, rng *sim.RNG) {
 			if cp.p.OnResp != nil {
 				cp.p.OnResp(i, sent-1, payload)
 			}
-			if sent >= cp.p.ReqsPerConn {
+			if sent >= cp.p.ReqsPerConn || cp.stopped {
 				ep.Close()
 				return
 			}

@@ -9,6 +9,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is virtual time in CPU cycles since boot.
@@ -50,6 +51,18 @@ type Engine struct {
 	// clock-force, so Now() stays at the last counted event's time).
 	stopAtFired uint64
 	stopReached bool
+
+	// triggers are callbacks armed on the counted-event axis (AtFired),
+	// kept sorted by (n, seq) and drained after each counted event.
+	triggers []firedTrigger
+}
+
+// firedTrigger is one AtFired arming: fn runs the moment Fired()
+// reaches n, immediately after counted event n's own callback returns.
+type firedTrigger struct {
+	n   uint64
+	seq uint64
+	fn  func()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -119,6 +132,33 @@ func (e *Engine) ObserveAfter(d Time, fn func()) *Event {
 	return e.ObserveAt(e.now+d, fn)
 }
 
+// AtFired schedules fn on the counted-event axis instead of the clock:
+// it runs once Fired() reaches n, immediately after counted event n's
+// own callback returns and before the next event pops. This is the
+// chaos harness's event-count trigger — because it keys off the same
+// coordinate StopAtFired halts on, a fault armed at event N lands at
+// the identical instant in an original run and in a dump replay,
+// whatever the wall-clock of event N turns out to be. Arming a trigger
+// at or before the current count panics, like scheduling in the past.
+// Triggers with equal n run in arming order.
+func (e *Engine) AtFired(n uint64, fn func()) {
+	if fn == nil {
+		panic("sim: nil AtFired func")
+	}
+	if n <= e.fired {
+		panic(fmt.Sprintf("sim: AtFired trigger at event %d in the past (fired %d)", n, e.fired))
+	}
+	tr := firedTrigger{n: n, seq: e.seq, fn: fn}
+	e.seq++
+	i := sort.Search(len(e.triggers), func(i int) bool {
+		t := e.triggers[i]
+		return t.n > tr.n || (t.n == tr.n && t.seq > tr.seq)
+	})
+	e.triggers = append(e.triggers, firedTrigger{})
+	copy(e.triggers[i+1:], e.triggers[i:])
+	e.triggers[i] = tr
+}
+
 // Cancel removes a scheduled event. Canceling an already-fired or
 // already-canceled event is a harmless no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -157,6 +197,15 @@ func (e *Engine) Step() bool {
 			e.fired++
 		}
 		fn()
+		if !ev.observer {
+			// Drain fired-count triggers: each may arm more (at strictly
+			// higher n), so re-check the head every iteration.
+			for len(e.triggers) > 0 && e.triggers[0].n <= e.fired {
+				tfn := e.triggers[0].fn
+				e.triggers = e.triggers[1:]
+				tfn()
+			}
+		}
 		return true
 	}
 	return false

@@ -127,3 +127,67 @@ func TestStopAtFiredSkipsPendingObservers(t *testing.T) {
 		t.Fatalf("counted=%d observed=%d, want 1/0", counted, observed)
 	}
 }
+
+// TestAtFired covers the counted-event trigger axis the chaos harness
+// arms its ev: clauses on: a trigger runs immediately after counted
+// event n's callback (same instant, before the next event pops), equal
+// arming counts run in arming order, observer events never advance the
+// axis, and arming at or before the current count panics like
+// scheduling in the past.
+func TestAtFired(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for i := Time(1); i <= 5; i++ {
+		i := i
+		e.At(i*10, func() { order = append(order, "ev") })
+	}
+	e.ObserveAt(15, func() { order = append(order, "obs") })
+	e.AtFired(2, func() { order = append(order, "trigB") })
+	e.AtFired(2, func() {
+		order = append(order, "trigC")
+		if e.Now() != 20 {
+			t.Fatalf("trigger at event 2 ran at cycle %d, want 20", e.Now())
+		}
+	})
+	e.AtFired(4, func() { order = append(order, "trigD") })
+	e.Run()
+	want := []string{"ev", "obs", "ev", "trigB", "trigC", "ev", "ev", "trigD", "ev"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5 (triggers and observers must not count)", e.Fired())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arming a trigger in the past did not panic")
+		}
+	}()
+	e.AtFired(3, func() {})
+}
+
+// TestAtFiredArmsMoreWork: a trigger may schedule further events and
+// triggers — the chaos pred: path does exactly this (a flight-recorder
+// hook arming an injection event at the observing instant).
+func TestAtFiredArmsMoreWork(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(10, func() {})
+	e.AtFired(1, func() {
+		e.At(e.Now()+5, func() { got = append(got, e.Now()) })
+		e.AtFired(2, func() { got = append(got, 0) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 15 || got[1] != 0 {
+		t.Fatalf("got %v, want [15 0] (event at 15, then the event-2 trigger)", got)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", e.Fired())
+	}
+}

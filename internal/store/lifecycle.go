@@ -235,6 +235,10 @@ func (sh *shard) replLost(t *core.Thread, r *replShard, err string) {
 	if r.quorum {
 		need := sh.quorumNeed() // majority of the pre-loss vector
 		if sh.armedCount()-1 < need {
+			// Record the invariant path before the fail-stop rewrites the
+			// ring's tail: the chaos matrix asserts WHICH rule fired
+			// (majority lost → fail-stop), not just that the run ended.
+			sh.m.flight.Record(sh.now(), "quorum-lost", err, uint64(sh.armedCount()-1), uint64(need))
 			sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: %s", sh.id, err))
 			return
 		}
@@ -262,7 +266,10 @@ func (sh *shard) detachRepl(t *core.Thread, r *replShard) {
 	if len(sh.repls) == 0 {
 		// Last attachment out: writes parked for a vote that can never
 		// arrive release at local durability — exactly the pre-attach
-		// contract — so these are AckedLocal terminals.
+		// contract — so these are AckedLocal terminals. The flight event
+		// carries how many writes the release unparked: the chaos
+		// no-client-hang gate reads it to confirm the heal path drained.
+		sh.m.flight.Record(sh.now(), "repl-release", "", uint64(len(sh.replWait)), 0)
 		for _, pw := range sh.replWait {
 			sh.ackLocal(t, pw)
 		}

@@ -714,6 +714,8 @@ func (s *Store) shardHandler(id int) kernel.Handler {
 			sh.replSyncStep(t, req.Arg.(replSyncMsg).r)
 		case "repladvert":
 			sh.replAdvert(t, req.Arg.(replAdvertMsg))
+		case "bitrot":
+			sh.bitrot(req.Arg.(string))
 		}
 		return nil
 	}
@@ -1038,6 +1040,10 @@ func (sh *shard) flushed(t *core.Thread, d flushDone) {
 	sh.m.FlushedRecords += uint64(len(d.batch))
 	sh.m.FlushLatency.Add(sh.now() - d.at)
 	if !d.ok {
+		// Name the invariant path in the ring before the drain rewrites
+		// it: a failed log write is the disk-fault fail-stop route, and
+		// the chaos matrix asserts the route, not just the outcome.
+		sh.m.flight.Record(sh.now(), "write-fail", "", uint64(len(d.batch)), uint64(d.block))
 		sh.nackBatch(t, d.batch, d.err)
 		sh.failStop(t, fmt.Sprintf("store: shard %d fail-stop: log write: %s", sh.id, d.err))
 		return

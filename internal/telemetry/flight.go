@@ -30,6 +30,13 @@ type Flight struct {
 	buf  []FlightEvent
 	next int
 	n    uint64
+
+	// Hook, when set, observes every Record call after the ring is
+	// written — the chaos harness's state-predicate trigger tap
+	// ("first compaction seal", "sync started", ...). The hook runs on
+	// the recording shard's own thread and must not mutate simulated
+	// state directly: schedule an engine event to act.
+	Hook func(FlightEvent)
 }
 
 // Init sizes the ring (idempotent; size<=0 picks DefaultFlightSize).
@@ -48,9 +55,13 @@ func (f *Flight) Record(at sim.Time, kind, key string, a, b uint64) {
 	if f.buf == nil {
 		f.Init(0)
 	}
-	f.buf[f.next] = FlightEvent{At: at, Kind: kind, Key: key, A: a, B: b}
+	ev := FlightEvent{At: at, Kind: kind, Key: key, A: a, B: b}
+	f.buf[f.next] = ev
 	f.next = (f.next + 1) % len(f.buf)
 	f.n++
+	if f.Hook != nil {
+		f.Hook(ev)
+	}
 }
 
 // Recorded returns the total number of events ever recorded (the ring

@@ -276,6 +276,58 @@ if [ "$short" = "0" ]; then
         exit 1
     }
     rm -f "$dumpfile" DUMP_GATE2.dump.json
+
+    echo "== chaos matrix gate (seeded fault schedules, four invariants)"
+    # A quick sweep of seeded schedules — kills, disk write failures,
+    # wire loss, NIC slowdowns, migrations — fanned across the scenario
+    # matrix must come back all green on the four invariants (zero
+    # acked-write loss, no client hang, bounded staleness, fail-stop-
+    # or-heal). A red exits non-zero and fails the gate; the summary
+    # JSON is the CI artifact.
+    out=$(go run ./cmd/chanos-sim -chaos-seeds 20 \
+        -chaos-out CHAOS_MATRIX.json -dump-on-fail .)
+    echo "$out"
+    test -s CHAOS_MATRIX.json || {
+        echo "verify: CHAOS_MATRIX.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"rows"' CHAOS_MATRIX.json || {
+        echo "verify: CHAOS_MATRIX.json has no rows" >&2
+        exit 1
+    }
+
+    # ...and the matrix must be able to CATCH a red: a deliberately
+    # unsound schedule (silent index bitrot late in the run) must trip
+    # the acked-loss invariant, write a machine dump, and that dump's
+    # replay must halt at the exact recorded event with byte-equal
+    # state — the whole red -> dump -> one-command repro loop.
+    if out=$(go run ./cmd/chanos-sim -chaos-schedule "cy:4000000:bitrot:0:3" \
+        -seed 7 -shards 2 -clients 12 -requests 240 -readpct 60 \
+        -keys 96 -logblocks 64 -dump-on-fail .); then
+        echo "verify: the deliberately red bitrot schedule came back green" >&2
+        exit 1
+    fi
+    echo "$out"
+    echo "$out" | grep -q 'RED: violations \[acked-loss\]' || {
+        echo "verify: the bitrot red named the wrong invariant" >&2
+        exit 1
+    }
+    dumpfile=$(echo "$out" | sed -n 's/^  dump: //p')
+    [ -n "$dumpfile" ] && [ -s "$dumpfile" ] || {
+        echo "verify: the red chaos run wrote no dump" >&2
+        exit 1
+    }
+    rout=$(go run ./cmd/chanos-sim -replay "$dumpfile")
+    echo "$rout"
+    echo "$rout" | grep -Eq 'halted at event ([0-9]+) \(recorded \1\)' || {
+        echo "verify: chaos replay did not halt at the recorded event count" >&2
+        exit 1
+    }
+    echo "$rout" | grep -q 'matches the dump exactly' || {
+        echo "verify: replayed chaos machine state diverges from the dump" >&2
+        exit 1
+    }
+    rm -f "$dumpfile"
 fi
 
 echo "verify: OK"
